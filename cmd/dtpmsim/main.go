@@ -1,0 +1,111 @@
+// Command dtpmsim runs one benchmark under one thermal-management policy on
+// the simulated Odroid-XU+E platform and reports the Chapter 6 metrics,
+// optionally dumping the full time traces as CSV.
+//
+// Usage:
+//
+//	dtpmsim -bench templerun -policy dtpm
+//	dtpmsim -bench matrixmult -policy all
+//	dtpmsim -bench basicmath -policy nofan -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "templerun", "benchmark name (see -list)")
+		policy   = flag.String("policy", "dtpm", "fan | nofan | reactive | dtpm | all")
+		seed     = flag.Int64("seed", 1, "sensor-noise / background seed")
+		tmax     = flag.Float64("tmax", 0, "temperature constraint in C (0 = paper default 63)")
+		governor = flag.String("governor", "", "default cpufreq governor (ondemand, interactive, performance, powersave)")
+		csvPath  = flag.String("csv", "", "write full time traces to this CSV file")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.Table() {
+			fmt.Printf("%-12s %-14s class=%-6s threads=%d nominal=%.0fs\n",
+				b.Name, b.Type, b.Class, b.Threads, b.NominalDuration())
+		}
+		return
+	}
+
+	b, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	policies, err := parsePolicies(*policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	runner := sim.NewRunner()
+	fmt.Fprintln(os.Stderr, "characterizing device (furnace + PRBS system identification)...")
+	ch, err := runner.Characterize(*seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%-12s %8s %8s %8s %7s %7s %8s %9s\n",
+		"policy", "exec(s)", "power(W)", "energy(J)", "maxT(C)", "avgT(C)", ">63C(s)", "predErr")
+	for _, pol := range policies {
+		res, err := runner.Run(sim.Options{
+			Policy: pol, Bench: b, Seed: *seed, TMax: *tmax, Governor: *governor,
+			Model: ch.Thermal, PowerModel: ch.Power,
+			Record: *csvPath != "",
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %8.1f %8.2f %8.0f %7.1f %7.1f %8.1f %8.2f%%\n",
+			pol, res.ExecTime, res.AvgPower, res.Energy, res.MaxTemp, res.AvgTemp,
+			res.OverTMax, res.PredMeanPct)
+		if *csvPath != "" {
+			name := *csvPath
+			if len(policies) > 1 {
+				name = strings.TrimSuffix(name, ".csv") + "-" + pol.String() + ".csv"
+			}
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.Rec.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "traces written to %s\n", name)
+		}
+	}
+}
+
+func parsePolicies(s string) ([]sim.Policy, error) {
+	switch strings.ToLower(s) {
+	case "fan", "with-fan", "default":
+		return []sim.Policy{sim.PolicyFan}, nil
+	case "nofan", "without-fan":
+		return []sim.Policy{sim.PolicyNoFan}, nil
+	case "reactive":
+		return []sim.Policy{sim.PolicyReactive}, nil
+	case "dtpm":
+		return []sim.Policy{sim.PolicyDTPM}, nil
+	case "all":
+		return []sim.Policy{sim.PolicyFan, sim.PolicyNoFan, sim.PolicyReactive, sim.PolicyDTPM}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (fan, nofan, reactive, dtpm, all)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtpmsim:", err)
+	os.Exit(1)
+}

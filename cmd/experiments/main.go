@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulated platform.
+//
+// Usage:
+//
+//	experiments -list            # show every artifact id
+//	experiments -id fig6.9       # regenerate one artifact
+//	experiments -all             # regenerate everything (paper order)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		id   = flag.String("id", "", "experiment id (e.g. fig6.9, tab6.4)")
+		all  = flag.Bool("all", false, "run every experiment")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		seed = flag.Int64("seed", 1, "seed for all stochastic parts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if !*all && *id == "" {
+		fmt.Fprintln(os.Stderr, "experiments: need -id, -all, or -list")
+		os.Exit(2)
+	}
+
+	fmt.Fprintln(os.Stderr, "characterizing device (furnace + PRBS system identification)...")
+	ctx, err := experiments.NewContext(*seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(e experiments.Experiment) {
+		rep, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Println(rep)
+		fmt.Println()
+	}
+
+	if *all {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*id)
+	if err != nil {
+		fatal(err)
+	}
+	run(e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

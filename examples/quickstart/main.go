@@ -1,0 +1,38 @@
+// Quickstart: characterize the simulated big.LITTLE device, then run the
+// Templerun game under the paper's predictive DTPM algorithm and under the
+// stock fan-cooled configuration, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	dev := repro.NewDevice()
+
+	// Chapter 4: build the power and thermal models from (simulated)
+	// measurements — furnace leakage sweep + PRBS system identification.
+	fmt.Println("characterizing device...")
+	models, err := dev.Characterize(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Chapter 6: run the benchmark under the stock configuration (fan) and
+	// under the proposed DTPM algorithm (no fan needed).
+	for _, policy := range []repro.Policy{repro.WithFan, repro.DTPM} {
+		res, err := dev.Run(repro.RunSpec{
+			Benchmark: "templerun",
+			Policy:    policy,
+			Models:    models,
+			Seed:      1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Summary())
+	}
+}

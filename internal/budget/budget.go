@@ -1,0 +1,245 @@
+// Package budget implements the Chapter 7 extension: distributing a dynamic
+// power budget among the components of the heterogeneous processor (big CPU
+// cluster, little CPU cluster, GPU — Figure 7.1).
+//
+// The problem is to pick one frequency per component from its discrete DVFS
+// table, minimizing the execution-time cost function of Equation 7.1,
+//
+//	J(f_1..f_n) = Σ c_i / f_i,
+//
+// subject to the power constraint of Equation 7.2,
+//
+//	P(f_1..f_n) = Σ a_i f_i³ ≤ P_budget.
+//
+// Two solvers are provided:
+//
+//   - Greedy implements the paper's heuristic (Eq. 7.3): starting from the
+//     maximum frequencies, repeatedly step down the component whose step
+//     costs the least performance per watt recovered. The paper uses this
+//     form because "branch and bound ... is limited during implementation by
+//     the use of recursive function in the linux kernel source due to kernel
+//     stack issues".
+//   - BranchAndBound is the exact reference solver the paper describes as
+//     solving the problem "theoretically"; it is used here to quantify the
+//     heuristic's optimality gap (it runs in user space, where recursion is
+//     no obstacle).
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// ErrInfeasible is returned when even the all-minimum-frequency
+// configuration exceeds the power budget.
+var ErrInfeasible = errors.New("budget: power budget infeasible even at minimum frequencies")
+
+// Component is one frequency-scalable block of the processor.
+type Component struct {
+	// Name identifies the component ("big", "little", "gpu").
+	Name string
+	// Freqs is the ascending DVFS table.
+	Freqs []platform.KHz
+	// PerfCoeff is c_i in Eq. 7.1: the component's contribution to
+	// execution time is PerfCoeff / f_GHz.
+	PerfCoeff float64
+	// PowerCoeff is a_i in Eq. 7.2: the component consumes
+	// PowerCoeff * f_GHz³ watts.
+	PowerCoeff float64
+}
+
+// Validate checks the component is well formed.
+func (c Component) Validate() error {
+	if len(c.Freqs) == 0 {
+		return fmt.Errorf("budget: component %q has no frequencies", c.Name)
+	}
+	for i := 1; i < len(c.Freqs); i++ {
+		if c.Freqs[i] <= c.Freqs[i-1] {
+			return fmt.Errorf("budget: component %q frequency table not ascending", c.Name)
+		}
+	}
+	if c.PerfCoeff < 0 || c.PowerCoeff < 0 {
+		return fmt.Errorf("budget: component %q has negative coefficients", c.Name)
+	}
+	return nil
+}
+
+// Power returns a_i f³ for the frequency at table index idx.
+func (c Component) Power(idx int) float64 {
+	f := c.Freqs[idx].GHz()
+	return c.PowerCoeff * f * f * f
+}
+
+// Cost returns c_i / f for the frequency at table index idx.
+func (c Component) Cost(idx int) float64 {
+	f := c.Freqs[idx].GHz()
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return c.PerfCoeff / f
+}
+
+// Assignment is a frequency choice per component (table indices).
+type Assignment []int
+
+// Solution is the outcome of a distribution solve.
+type Solution struct {
+	// Indices holds the chosen table index per component.
+	Indices Assignment
+	// Freqs holds the chosen frequencies per component.
+	Freqs []platform.KHz
+	// Cost is the Eq. 7.1 objective at the solution.
+	Cost float64
+	// Power is the Eq. 7.2 total power at the solution.
+	Power float64
+	// Explored counts configurations examined (for the B&B statistics).
+	Explored int
+}
+
+func validate(comps []Component) error {
+	if len(comps) == 0 {
+		return errors.New("budget: no components")
+	}
+	for _, c := range comps {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func solution(comps []Component, idx Assignment, explored int) *Solution {
+	s := &Solution{Indices: append(Assignment(nil), idx...), Explored: explored}
+	for i, c := range comps {
+		s.Freqs = append(s.Freqs, c.Freqs[idx[i]])
+		s.Cost += c.Cost(idx[i])
+		s.Power += c.Power(idx[i])
+	}
+	return s
+}
+
+// Greedy distributes the budget with the paper's marginal-cost heuristic
+// (Eq. 7.3): every component starts at its maximum frequency; while the
+// power constraint is violated, the component whose next step down gives up
+// the least performance per watt saved is throttled one step.
+func Greedy(comps []Component, pBudget float64) (*Solution, error) {
+	if err := validate(comps); err != nil {
+		return nil, err
+	}
+	idx := make(Assignment, len(comps))
+	for i, c := range comps {
+		idx[i] = len(c.Freqs) - 1
+	}
+	power := 0.0
+	for i, c := range comps {
+		power += c.Power(idx[i])
+	}
+	steps := 0
+	for power > pBudget {
+		best, bestRatio := -1, math.Inf(1)
+		for i, c := range comps {
+			if idx[i] == 0 {
+				continue
+			}
+			dJ := c.Cost(idx[i]-1) - c.Cost(idx[i])
+			dP := c.Power(idx[i]) - c.Power(idx[i]-1)
+			if dP <= 0 {
+				continue
+			}
+			// Marginal performance cost per watt recovered.
+			if r := dJ / dP; r < bestRatio {
+				best, bestRatio = i, r
+			}
+		}
+		if best < 0 {
+			return nil, ErrInfeasible
+		}
+		power -= comps[best].Power(idx[best]) - comps[best].Power(idx[best]-1)
+		idx[best]--
+		steps++
+	}
+	return solution(comps, idx, steps), nil
+}
+
+// BranchAndBound finds the exact Eq. 7.1/7.2 optimum by depth-first search
+// with pruning: a partial assignment is abandoned when its cost plus the
+// best possible remaining cost already exceeds the incumbent, or when its
+// power plus the least possible remaining power already exceeds the budget.
+func BranchAndBound(comps []Component, pBudget float64) (*Solution, error) {
+	if err := validate(comps); err != nil {
+		return nil, err
+	}
+	n := len(comps)
+	// Per-component extremes for the bounds.
+	minPower := make([]float64, n)
+	minCost := make([]float64, n)
+	for i, c := range comps {
+		minPower[i] = c.Power(0)
+		minCost[i] = c.Cost(len(c.Freqs) - 1)
+	}
+	// Suffix sums: least power / cost attainable from component i onward.
+	sufPower := make([]float64, n+1)
+	sufCost := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sufPower[i] = sufPower[i+1] + minPower[i]
+		sufCost[i] = sufCost[i+1] + minCost[i]
+	}
+	if sufPower[0] > pBudget {
+		return nil, ErrInfeasible
+	}
+
+	bestCost := math.Inf(1)
+	var bestIdx Assignment
+	cur := make(Assignment, n)
+	explored := 0
+
+	var dfs func(i int, power, cost float64)
+	dfs = func(i int, power, cost float64) {
+		if i == n {
+			explored++
+			if cost < bestCost {
+				bestCost = cost
+				bestIdx = append(bestIdx[:0], cur...)
+			}
+			return
+		}
+		c := comps[i]
+		// Try fast (cheap cost) frequencies first so good incumbents appear
+		// early and pruning bites.
+		for j := len(c.Freqs) - 1; j >= 0; j-- {
+			p := power + c.Power(j)
+			if p+sufPower[i+1] > pBudget {
+				continue // too much power no matter what follows
+			}
+			cst := cost + c.Cost(j)
+			if cst+sufCost[i+1] >= bestCost {
+				// Lower frequencies only cost more: prune the rest.
+				break
+			}
+			cur[i] = j
+			dfs(i+1, p, cst)
+		}
+	}
+	dfs(0, 0, 0)
+	if bestIdx == nil {
+		return nil, ErrInfeasible
+	}
+	s := solution(comps, bestIdx, explored)
+	s.Cost = bestCost
+	return s, nil
+}
+
+// DefaultComponents returns the Figure 7.1 decomposition of the Exynos
+// 5410 with representative coefficients: the big cluster dominates both
+// performance and power, the GPU matters for game workloads, and the
+// little cluster is cheap but slow.
+func DefaultComponents() []Component {
+	return []Component{
+		{Name: "big", Freqs: platform.BigDomain().Frequencies(), PerfCoeff: 1.0, PowerCoeff: 0.95},
+		{Name: "little", Freqs: platform.LittleDomain().Frequencies(), PerfCoeff: 0.25, PowerCoeff: 0.22},
+		{Name: "gpu", Freqs: platform.GPUDomainTable().Frequencies(), PerfCoeff: 0.40, PowerCoeff: 3.0},
+	}
+}

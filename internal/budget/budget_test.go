@@ -1,0 +1,232 @@
+package budget
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func khz(mhz ...float64) []platform.KHz {
+	out := make([]platform.KHz, len(mhz))
+	for i, m := range mhz {
+		out[i] = platform.MHzToKHz(m)
+	}
+	return out
+}
+
+func twoComps() []Component {
+	return []Component{
+		{Name: "big", Freqs: khz(800, 1200, 1600), PerfCoeff: 1.0, PowerCoeff: 1.0},
+		{Name: "gpu", Freqs: khz(177, 350, 533), PerfCoeff: 0.4, PowerCoeff: 3.0},
+	}
+}
+
+func totalPower(comps []Component, idx Assignment) float64 {
+	p := 0.0
+	for i, c := range comps {
+		p += c.Power(idx[i])
+	}
+	return p
+}
+
+func TestComponentValidate(t *testing.T) {
+	if err := (Component{Name: "x"}).Validate(); err == nil {
+		t.Error("empty table accepted")
+	}
+	if err := (Component{Name: "x", Freqs: khz(800, 800)}).Validate(); err == nil {
+		t.Error("non-ascending table accepted")
+	}
+	if err := (Component{Name: "x", Freqs: khz(800), PerfCoeff: -1}).Validate(); err == nil {
+		t.Error("negative coefficient accepted")
+	}
+	if err := (Component{Name: "x", Freqs: khz(800, 900)}).Validate(); err != nil {
+		t.Errorf("valid component rejected: %v", err)
+	}
+}
+
+func TestPowerCostMonotone(t *testing.T) {
+	c := Component{Name: "big", Freqs: khz(800, 1200, 1600), PerfCoeff: 1, PowerCoeff: 1}
+	for i := 1; i < len(c.Freqs); i++ {
+		if c.Power(i) <= c.Power(i-1) {
+			t.Errorf("power not increasing at step %d", i)
+		}
+		if c.Cost(i) >= c.Cost(i-1) {
+			t.Errorf("cost not decreasing at step %d", i)
+		}
+	}
+}
+
+func TestGenerousBudgetKeepsMaxFrequencies(t *testing.T) {
+	comps := twoComps()
+	for _, solve := range []func([]Component, float64) (*Solution, error){Greedy, BranchAndBound} {
+		s, err := solve(comps, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range comps {
+			if s.Indices[i] != len(c.Freqs)-1 {
+				t.Errorf("component %s throttled to index %d under an unlimited budget", c.Name, s.Indices[i])
+			}
+		}
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	comps := twoComps()
+	for _, solve := range []func([]Component, float64) (*Solution, error){Greedy, BranchAndBound} {
+		_, err := solve(comps, 1e-6)
+		if !errors.Is(err, ErrInfeasible) {
+			t.Errorf("want ErrInfeasible, got %v", err)
+		}
+	}
+}
+
+func TestEmptyComponents(t *testing.T) {
+	if _, err := Greedy(nil, 1); err == nil {
+		t.Error("Greedy accepted no components")
+	}
+	if _, err := BranchAndBound(nil, 1); err == nil {
+		t.Error("BranchAndBound accepted no components")
+	}
+}
+
+func TestSolutionsRespectBudget(t *testing.T) {
+	comps := DefaultComponents()
+	for _, budget := range []float64{1, 2, 3, 5, 8} {
+		g, err := Greedy(comps, budget)
+		if err != nil {
+			t.Fatalf("Greedy(%.1f): %v", budget, err)
+		}
+		if g.Power > budget+1e-9 {
+			t.Errorf("Greedy power %.3f exceeds budget %.1f", g.Power, budget)
+		}
+		bb, err := BranchAndBound(comps, budget)
+		if err != nil {
+			t.Fatalf("BranchAndBound(%.1f): %v", budget, err)
+		}
+		if bb.Power > budget+1e-9 {
+			t.Errorf("B&B power %.3f exceeds budget %.1f", bb.Power, budget)
+		}
+		if bb.Cost > g.Cost+1e-9 {
+			t.Errorf("B&B cost %.4f above greedy %.4f at budget %.1f (B&B must be optimal)",
+				bb.Cost, g.Cost, budget)
+		}
+	}
+}
+
+// TestBranchAndBoundMatchesExhaustive cross-checks B&B against a plain
+// exhaustive search on a small instance.
+func TestBranchAndBoundMatchesExhaustive(t *testing.T) {
+	comps := twoComps()
+	budget := 4.0
+	bb, err := BranchAndBound(comps, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestCost := math.Inf(1)
+	for i := 0; i < len(comps[0].Freqs); i++ {
+		for j := 0; j < len(comps[1].Freqs); j++ {
+			idx := Assignment{i, j}
+			if totalPower(comps, idx) > budget {
+				continue
+			}
+			cost := comps[0].Cost(i) + comps[1].Cost(j)
+			if cost < bestCost {
+				bestCost = cost
+			}
+		}
+	}
+	if math.Abs(bb.Cost-bestCost) > 1e-12 {
+		t.Errorf("B&B cost %.6f, exhaustive %.6f", bb.Cost, bestCost)
+	}
+}
+
+// TestGreedyNearOptimalProperty: on random instances, greedy must always be
+// feasible and the exact optimum must never beat it by more than the
+// coarseness of one DVFS step allows. We assert feasibility, optimality
+// ordering, and a loose 2x quality bound.
+func TestGreedyNearOptimalProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		comps := make([]Component, n)
+		for i := range comps {
+			steps := 3 + rng.Intn(5)
+			freqs := make([]platform.KHz, steps)
+			f := 200 + rng.Float64()*400
+			for j := range freqs {
+				freqs[j] = platform.MHzToKHz(f)
+				f += 100 + rng.Float64()*300
+			}
+			comps[i] = Component{
+				Name:       string(rune('a' + i)),
+				Freqs:      freqs,
+				PerfCoeff:  0.1 + rng.Float64(),
+				PowerCoeff: 0.1 + 2*rng.Float64(),
+			}
+		}
+		// A budget between the minimum and maximum power draw.
+		minIdx := make(Assignment, n)
+		maxIdx := make(Assignment, n)
+		for i, c := range comps {
+			maxIdx[i] = len(c.Freqs) - 1
+		}
+		pMin, pMax := totalPower(comps, minIdx), totalPower(comps, maxIdx)
+		budget := pMin + (pMax-pMin)*rng.Float64()
+
+		g, gErr := Greedy(comps, budget)
+		bb, bErr := BranchAndBound(comps, budget)
+		if gErr != nil || bErr != nil {
+			return false
+		}
+		if g.Power > budget+1e-9 || bb.Power > budget+1e-9 {
+			return false
+		}
+		if bb.Cost > g.Cost+1e-9 {
+			return false
+		}
+		return g.Cost <= 2*bb.Cost+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultComponents(t *testing.T) {
+	comps := DefaultComponents()
+	if len(comps) != 3 {
+		t.Fatalf("want 3 components (Figure 7.1), got %d", len(comps))
+	}
+	for _, c := range comps {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	// The big cluster at max should dominate the power.
+	big := comps[0]
+	if p := big.Power(len(big.Freqs) - 1); p < 2 || p > 6 {
+		t.Errorf("big cluster max power %.2f W outside the plausible 2-6 W", p)
+	}
+}
+
+func TestGreedyThrottlesLeastPerformanceCritical(t *testing.T) {
+	// Two identical power profiles, but component b matters 10x less for
+	// performance: greedy must throttle b first.
+	comps := []Component{
+		{Name: "a", Freqs: khz(800, 1200, 1600), PerfCoeff: 1.0, PowerCoeff: 1.0},
+		{Name: "b", Freqs: khz(800, 1200, 1600), PerfCoeff: 0.1, PowerCoeff: 1.0},
+	}
+	full := totalPower(comps, Assignment{2, 2})
+	s, err := Greedy(comps, full*0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Indices[1] >= s.Indices[0] {
+		t.Errorf("greedy throttled the performance-critical component first: %v", s.Indices)
+	}
+}

@@ -1,0 +1,62 @@
+package dtpm
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// hopelessAt returns inputs whose budget is unmeetable, with the given
+// per-core temperatures.
+func hopelessAt(chip *platform.Chip, temps [4]float64) Inputs {
+	return Inputs{
+		Temps:        temps,
+		Powers:       [4]float64{3.5, 0.05, 0.1, 0.5},
+		GovernorFreq: chip.BigCluster.Domain.MaxFreq(),
+	}
+}
+
+// driveToShed feeds inputs until the controller requests a core shed (or
+// gives up) and returns the final decision.
+func driveToShed(t *testing.T, c *Controller, chip *platform.Chip, in Inputs) Decision {
+	t.Helper()
+	for k := 0; k < 40; k++ {
+		dec := c.Update(chip, in)
+		if dec.Limits.MaxBigCores < platform.CoresPerCluster {
+			return dec
+		}
+	}
+	t.Fatal("controller never shed a core under a hopeless budget")
+	return Decision{}
+}
+
+// TestEq59RunawayCoreTargeted: when one core runs away past Delta, the
+// controller names it for shutdown (Eq. 5.9 true).
+func TestEq59RunawayCoreTargeted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EscalateIntervals = 1
+	c := newTestController(t, cfg)
+	chip := platform.NewChip()
+	// Core 2 runs 6 °C above the rest: well past Delta (2.5).
+	dec := driveToShed(t, c, chip, hopelessAt(chip, [4]float64{70, 70, 76, 70}))
+	if dec.Limits.OfflineCore != 2 {
+		t.Errorf("OfflineCore = %d, want 2 (the runaway core, Eq. 5.9)", dec.Limits.OfflineCore)
+	}
+}
+
+// TestEq59BalancedCoresNotTargeted: when the cores are balanced (Eq. 5.9
+// false), the shed request does not single out any core — the kernel picks.
+func TestEq59BalancedCoresNotTargeted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EscalateIntervals = 1
+	c := newTestController(t, cfg)
+	chip := platform.NewChip()
+	// Spread of 1 °C: below Delta.
+	dec := driveToShed(t, c, chip, hopelessAt(chip, [4]float64{72, 72.5, 71.8, 72.3}))
+	if dec.Limits.OfflineCore != -1 {
+		t.Errorf("OfflineCore = %d, want -1 (cores balanced, Eq. 5.9 false)", dec.Limits.OfflineCore)
+	}
+	if dec.Limits.MaxBigCores != platform.CoresPerCluster-1 {
+		t.Errorf("MaxBigCores = %d, want %d", dec.Limits.MaxBigCores, platform.CoresPerCluster-1)
+	}
+}

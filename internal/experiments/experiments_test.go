@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedCtx caches the expensive characterization across tests.
+var sharedCtx *Context
+
+func ctx(t *testing.T) *Context {
+	t.Helper()
+	if sharedCtx == nil {
+		c, err := NewContext(1)
+		if err != nil {
+			t.Fatalf("NewContext: %v", err)
+		}
+		sharedCtx = c
+	}
+	return sharedCtx
+}
+
+func TestAllIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q) = %v, %v", e.ID, got.ID, err)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if _, err := ByID("fig99.9"); err == nil {
+		t.Error("unknown id resolved")
+	}
+	if len(IDs()) != len(All()) {
+		t.Error("IDs() length mismatch")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := Table{
+		Name:    "demo",
+		Columns: []string{"a", "longcolumn"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "longcolumn") {
+		t.Errorf("table render missing pieces:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // name, header, separator, 2 rows
+		t.Errorf("table render has %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestFrequencyTables(t *testing.T) {
+	// Tables 6.1-6.3 must reproduce the paper's exact frequency lists.
+	check := func(id string, want []string) {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(ctx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Tables) != 1 {
+			t.Fatalf("%s: %d tables", id, len(rep.Tables))
+		}
+		var got []string
+		for _, row := range rep.Tables[0].Rows {
+			got = append(got, row[0])
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s row %d: %s, want %s", id, i, got[i], want[i])
+			}
+		}
+	}
+	check("tab6.1", []string{"800", "900", "1000", "1100", "1200", "1300", "1400", "1500", "1600"})
+	check("tab6.2", []string{"500", "600", "700", "800", "900", "1000", "1100", "1200"})
+	check("tab6.3", []string{"177", "266", "350", "480", "533"})
+}
+
+func TestTab6_4HasAllBenchmarks(t *testing.T) {
+	e, _ := ByID("tab6.4")
+	rep, err := e.Run(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Tables[0].Rows); n != 16 { // 15 of Table 6.4 + LU
+		t.Errorf("tab6.4 has %d rows, want 16", n)
+	}
+}
+
+func TestFig1_1Shape(t *testing.T) {
+	e, _ := ByID("fig1.1")
+	rep, err := e.Run(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row order: with-fan, without-fan. Without-fan max must exceed
+	// with-fan max by a clear margin.
+	rows := rep.Tables[0].Rows
+	fanMax, _ := strconv.ParseFloat(rows[0][1], 64)
+	noMax, _ := strconv.ParseFloat(rows[1][1], 64)
+	if noMax < fanMax+5 {
+		t.Errorf("without-fan max %.1f not clearly above with-fan %.1f", noMax, fanMax)
+	}
+	if noMax < 65 {
+		t.Errorf("without-fan max %.1f, want > 65 over a 350 s stress run", noMax)
+	}
+}
+
+func TestFig4_10ErrorGrowsWithHorizon(t *testing.T) {
+	e, _ := ByID("fig4.10")
+	rep, err := e.Run(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	first, _ := strconv.ParseFloat(strings.TrimSuffix(rows[0][1], "%"), 64)
+	last, _ := strconv.ParseFloat(strings.TrimSuffix(rows[len(rows)-1][1], "%"), 64)
+	if last < first {
+		t.Errorf("prediction error shrank with horizon: %.2f%% -> %.2f%%", first, last)
+	}
+	oneSec := -1.0
+	for _, row := range rows {
+		if row[0] == "1.0" {
+			oneSec, _ = strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		}
+	}
+	if oneSec < 0 || oneSec > 3.5 {
+		t.Errorf("1 s horizon error %.2f%%, want <= 3.5%%", oneSec)
+	}
+}
+
+func TestFig6_2Bounds(t *testing.T) {
+	e, _ := ByID("fig6.2")
+	rep, err := e.Run(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Tables[0].Rows {
+		mean, _ := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		if mean > 4.0 {
+			t.Errorf("%s mean prediction error %.2f%%, want <= 4%%", row[0], mean)
+		}
+	}
+}
+
+func TestFig6_5VarianceReduction(t *testing.T) {
+	e, _ := ByID("fig6.5")
+	rep, err := e.Run(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The variance table rows are ordered without-fan, with-fan, dtpm.
+	variance := rep.Tables[2]
+	var noFanVar, fanVar, dtpmVar [2]float64
+	for _, row := range variance.Rows {
+		for i := 0; i < 2; i++ {
+			v, _ := strconv.ParseFloat(row[1+i], 64)
+			switch row[0] {
+			case "without-fan":
+				noFanVar[i] = v
+			case "with-fan":
+				fanVar[i] = v
+			case "dtpm":
+				dtpmVar[i] = v
+			}
+		}
+	}
+	for i, bench := range []string{"templerun", "basicmath"} {
+		if dtpmVar[i] <= 0 {
+			t.Fatalf("%s dtpm variance zero", bench)
+		}
+		if ratio := noFanVar[i] / dtpmVar[i]; ratio < 3 {
+			t.Errorf("%s variance reduction vs no-fan %.1fx, want >= 3x", bench, ratio)
+		}
+	}
+	// The with-fan limit cycle exists for templerun; DTPM must beat it.
+	if ratio := fanVar[0] / dtpmVar[0]; ratio < 3 {
+		t.Errorf("templerun variance reduction vs with-fan %.1fx, want >= 3x (paper ~6x)", ratio)
+	}
+}
+
+func TestFig6_9ClassOrdering(t *testing.T) {
+	e, _ := ByID("fig6.9")
+	rep, err := e.Run(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class averages table: low < high savings.
+	avgs := map[string]float64{}
+	for _, row := range rep.Tables[1].Rows {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		avgs[row[0]] = v
+	}
+	if !(avgs["low"] < avgs["high"]) {
+		t.Errorf("class savings not ordered: low %.1f%%, high %.1f%%", avgs["low"], avgs["high"])
+	}
+	if avgs["high"] < 5 {
+		t.Errorf("high-class saving %.1f%%, want >= 5%%", avgs["high"])
+	}
+	// Per-benchmark performance loss bounded.
+	for _, row := range rep.Tables[0].Rows {
+		loss, _ := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if loss > 8 {
+			t.Errorf("%s perf loss %.1f%%, want <= 8%%", row[0], loss)
+		}
+	}
+}
+
+func TestFig7_1GreedyNearOptimal(t *testing.T) {
+	e, _ := ByID("fig7.1")
+	rep, err := e.Run(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Tables[0].Rows {
+		gap, _ := strconv.ParseFloat(strings.TrimSuffix(row[4], "%"), 64)
+		if gap < 0 {
+			t.Errorf("budget %s: negative optimality gap %f (B&B not optimal?)", row[0], gap)
+		}
+		if gap > 25 {
+			t.Errorf("budget %s: greedy gap %.1f%%, want <= 25%%", row[0], gap)
+		}
+	}
+}
+
+// TestEveryExperimentRuns executes the complete suite once; every report
+// must materialize without error and carry at least one table or chart.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	for _, e := range All() {
+		rep, err := e.Run(ctx(t))
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if rep.ID != e.ID {
+			t.Errorf("%s: report id %q", e.ID, rep.ID)
+		}
+		if len(rep.Tables) == 0 && len(rep.Charts) == 0 {
+			t.Errorf("%s: empty report", e.ID)
+		}
+		if s := rep.String(); !strings.Contains(s, e.ID) {
+			t.Errorf("%s: String() missing id", e.ID)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package kernel is the simulated operating-system substrate the DTPM
+// framework plugs into (Figure 3.1): a run queue of tasks, a load balancer
+// that spreads them over the online cores of the active cluster, task
+// migration on hotplug and cluster switches, and execution-time accounting.
+//
+// The paper implements its algorithm inside Linux 3.4.76; the scheduler
+// behaviours that matter to the evaluation are reproduced here: "the tasks
+// running on this core are migrated to the other cores by the kernel"
+// (§5.2) and "the kernel of modern platforms already considers scheduling
+// and migration techniques such as load balancer" (§2).
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Task is one schedulable entity.
+type Task struct {
+	Name string
+	// Demand returns the demanded fraction of workload.RefCapacity at time
+	// t (seconds).
+	Demand func(t float64) float64
+	// MemBound in [0, 1) is the fraction of the task's execution time spent
+	// stalled on memory at the reference configuration. Memory stalls do not
+	// speed up with core frequency, so a task's progress scales sublinearly
+	// with DVFS (the roofline effect): time per unit work at speed ratio
+	// rho is (1-MemBound)/rho + MemBound. Zero means fully compute-bound.
+	MemBound float64
+	// WorkLeft is the remaining work in reference cycles; math.Inf(1) for
+	// open-ended tasks (background daemons).
+	WorkLeft float64
+	// Done is set when WorkLeft reaches zero; the completion time is
+	// recorded in FinishedAt.
+	Done       bool
+	FinishedAt float64
+
+	core int // current core assignment
+}
+
+// Core returns the task's current core assignment.
+func (t *Task) Core() int { return t.core }
+
+// Foreground reports whether the task is work-bound (finite work).
+func (t *Task) Foreground() bool { return !math.IsInf(t.WorkLeft, 1) }
+
+// Sched is the simulated scheduler.
+type Sched struct {
+	tasks []*Task
+	now   float64
+}
+
+// NewSched returns an empty scheduler.
+func NewSched() *Sched { return &Sched{} }
+
+// Add inserts a task, assigning it to the least-loaded core lazily at the
+// next tick (core -1 means unassigned).
+func (s *Sched) Add(t *Task) {
+	t.core = -1
+	s.tasks = append(s.tasks, t)
+}
+
+// Tasks returns all tasks (including finished ones).
+func (s *Sched) Tasks() []*Task { return s.tasks }
+
+// Now returns the scheduler clock (seconds).
+func (s *Sched) Now() float64 { return s.now }
+
+// AllForegroundDone reports whether every work-bound task has finished.
+func (s *Sched) AllForegroundDone() bool {
+	for _, t := range s.tasks {
+		if t.Foreground() && !t.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// LastFinish returns the latest completion time over the foreground tasks,
+// or -1 if any is still running.
+func (s *Sched) LastFinish() float64 {
+	last := 0.0
+	for _, t := range s.tasks {
+		if !t.Foreground() {
+			continue
+		}
+		if !t.Done {
+			return -1
+		}
+		if t.FinishedAt > last {
+			last = t.FinishedAt
+		}
+	}
+	return last
+}
+
+// TickResult is the outcome of one scheduler interval.
+type TickResult struct {
+	// CoreUtil is the realized utilization of each core in [0, 1].
+	CoreUtil [platform.CoresPerCluster]float64
+	// WorkDone is the total reference cycles retired this tick.
+	WorkDone float64
+	// Saturated reports whether any core had more demand than capacity
+	// (i.e. the workload is being slowed down).
+	Saturated bool
+}
+
+// rebalance assigns every runnable task to an online core, keeping existing
+// placements when possible (cache affinity) and moving tasks away from
+// offline cores. New and displaced tasks go to the least-loaded core,
+// mirroring the kernel load balancer.
+func (s *Sched) rebalance(cluster *platform.Cluster) {
+	load := [platform.CoresPerCluster]float64{}
+	var displaced []*Task
+	for _, t := range s.tasks {
+		if t.Done {
+			continue
+		}
+		if t.core >= 0 && cluster.CoreOnline(t.core) {
+			load[t.core] += t.Demand(s.now)
+		} else {
+			displaced = append(displaced, t)
+		}
+	}
+	// Deterministic order: heaviest demand first onto least-loaded cores.
+	sort.SliceStable(displaced, func(i, j int) bool {
+		return displaced[i].Demand(s.now) > displaced[j].Demand(s.now)
+	})
+	for _, t := range displaced {
+		best, bestLoad := -1, math.Inf(1)
+		for c := 0; c < platform.CoresPerCluster; c++ {
+			if !cluster.CoreOnline(c) {
+				continue
+			}
+			if load[c] < bestLoad {
+				best, bestLoad = c, load[c]
+			}
+		}
+		if best < 0 {
+			// No core online: cannot happen (platform keeps one online).
+			panic("kernel: no online core to place task")
+		}
+		t.core = best
+		load[best] += t.Demand(s.now)
+	}
+}
+
+// MigrateAll forces every task off its core (used on cluster switches).
+func (s *Sched) MigrateAll() {
+	for _, t := range s.tasks {
+		t.core = -1
+	}
+}
+
+// Tick advances the scheduler by dt seconds on the given cluster.
+//
+// A task demanding fraction d of workload.RefCapacity needs, per second of
+// wall time, d * ((1-MemBound)/rho + MemBound) seconds of core time, where
+// rho = freq*IPC/RefCapacity is the core's speed ratio: compute cycles
+// stretch when the core is slower, memory-stall time does not. When the
+// core-time demands on a core exceed one, the runnable tasks share the core
+// proportionally and the benchmark is slowed down (this is where throttling
+// costs performance).
+func (s *Sched) Tick(dt float64, cluster *platform.Cluster) TickResult {
+	var res TickResult
+	if dt <= 0 {
+		return res
+	}
+	s.rebalance(cluster)
+	rho := cluster.Freq().Hz() * cluster.IPC / workload.RefCapacity // speed ratio
+
+	// Group runnable tasks per core.
+	var perCore [platform.CoresPerCluster][]*Task
+	for _, t := range s.tasks {
+		if t.Done {
+			continue
+		}
+		perCore[t.core] = append(perCore[t.core], t)
+	}
+	coreTime := func(t *Task) float64 {
+		return t.Demand(s.now) * ((1-t.MemBound)/rho + t.MemBound)
+	}
+	for c := 0; c < platform.CoresPerCluster; c++ {
+		if len(perCore[c]) == 0 {
+			continue
+		}
+		need := 0.0
+		for _, t := range perCore[c] {
+			need += coreTime(t)
+		}
+		if need <= 0 {
+			continue
+		}
+		util := need
+		scale := 1.0
+		if util > 1 {
+			scale = 1 / util
+			util = 1
+			res.Saturated = true
+		}
+		res.CoreUtil[c] = util
+		for _, t := range perCore[c] {
+			cycles := t.Demand(s.now) * workload.RefCapacity * scale * dt
+			res.WorkDone += cycles
+			if t.Foreground() {
+				t.WorkLeft -= cycles
+				if t.WorkLeft <= 0 {
+					t.WorkLeft = 0
+					t.Done = true
+					// Linear interpolation of the finish instant inside
+					// the tick would need per-task bookkeeping; end of
+					// tick is accurate to dt (100 ms), plenty for the
+					// paper's second-scale execution times.
+					t.FinishedAt = s.now + dt
+				}
+			}
+		}
+	}
+	s.now += dt
+	return res
+}
+
+// String summarizes the scheduler state.
+func (s *Sched) String() string {
+	running := 0
+	for _, t := range s.tasks {
+		if !t.Done {
+			running++
+		}
+	}
+	return fmt.Sprintf("kernel: t=%.1fs tasks=%d running=%d", s.now, len(s.tasks), running)
+}

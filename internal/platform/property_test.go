@@ -1,0 +1,59 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDomainQuantizationProperties checks the DVFS-table navigation
+// invariants over arbitrary frequencies for all three domains.
+func TestDomainQuantizationProperties(t *testing.T) {
+	domains := []*Domain{BigDomain(), LittleDomain(), GPUDomainTable()}
+	check := func(raw uint32, which uint8) bool {
+		d := domains[int(which)%len(domains)]
+		f := KHz(raw % 3000000) // up to 3 GHz
+		floor := d.FloorFreq(f)
+		ceil := d.CeilFreq(f)
+		// Floor and ceil are table entries.
+		if d.IndexOf(floor) < 0 || d.IndexOf(ceil) < 0 {
+			return false
+		}
+		// Floor <= ceil; both bracket f when f is in range.
+		if floor > ceil {
+			return false
+		}
+		if f >= d.MinFreq() && f <= d.MaxFreq() {
+			if floor > f || ceil < f {
+				return false
+			}
+		}
+		// Step functions stay inside the table and move monotonically.
+		if d.StepDown(floor) > floor || d.StepUp(ceil) < ceil {
+			return false
+		}
+		if d.StepDown(d.MinFreq()) != d.MinFreq() {
+			return false
+		}
+		if d.StepUp(d.MaxFreq()) != d.MaxFreq() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVoltageMonotoneInFrequency: every domain's voltage map must be
+// non-decreasing in frequency (DVFS physics).
+func TestVoltageMonotoneInFrequency(t *testing.T) {
+	for _, d := range []*Domain{BigDomain(), LittleDomain(), GPUDomainTable()} {
+		prev := -1.0
+		for _, opp := range d.OPPs {
+			if opp.Volt < prev {
+				t.Errorf("domain %s: voltage drops at %v", d.Name, opp.Freq)
+			}
+			prev = opp.Volt
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// AlphaCEstimator performs the run-time computation of Figure 4.4: every
+// control interval the measured total power of a domain is split into
+// leakage (from the fitted leakage model) and dynamic power, and the product
+// of the activity factor and switching capacitance is extracted:
+//
+//	alphaC = (P_total - P_leak(T, V)) / (V^2 * f)
+//
+// The estimate is smoothed with an exponential moving average so that a
+// single noisy sensor reading does not swing the prediction. The estimated
+// alphaC absorbs the current utilization, matching the paper's use: "this
+// model is used to predict the dynamic power consumption before any decision
+// on the frequency is made" under the current activity.
+type AlphaCEstimator struct {
+	// Smoothing is the EWMA weight of the newest sample, in (0, 1].
+	Smoothing float64
+
+	value float64
+	seen  bool
+}
+
+// NewAlphaCEstimator returns an estimator with the given smoothing weight.
+func NewAlphaCEstimator(smoothing float64) *AlphaCEstimator {
+	if smoothing <= 0 || smoothing > 1 {
+		smoothing = 0.5
+	}
+	return &AlphaCEstimator{Smoothing: smoothing}
+}
+
+// Update ingests one sensor observation: measured domain power (W), fitted
+// leakage power (W), voltage (V), and frequency. It returns the new estimate.
+func (e *AlphaCEstimator) Update(measuredPower, leakPower, volt float64, f platform.KHz) float64 {
+	dyn := measuredPower - leakPower
+	if dyn < 0 {
+		dyn = 0
+	}
+	denom := volt * volt * f.Hz()
+	if denom <= 0 {
+		return e.value
+	}
+	sample := dyn / denom
+	if !e.seen {
+		e.value = sample
+		e.seen = true
+	} else {
+		e.value = e.Smoothing*sample + (1-e.Smoothing)*e.value
+	}
+	return e.value
+}
+
+// Value returns the current estimate (farads); zero before the first update.
+func (e *AlphaCEstimator) Value() float64 { return e.value }
+
+// Reset clears the estimator (used after cluster migration, when the
+// activity moves to a different core type).
+func (e *AlphaCEstimator) Reset() { e.value, e.seen = 0, false }
+
+// Model is the kernel-resident power model of §4.1: a fitted leakage law and
+// a continuously updated alphaC estimate per power domain. It exposes the
+// two predictions the DTPM algorithm needs: the power a domain would draw at
+// a candidate frequency, and the frequency affordable under a dynamic power
+// budget (Eq. 5.7).
+type Model struct {
+	Leak   [platform.NumResources]LeakageParams
+	AlphaC [platform.NumResources]*AlphaCEstimator
+}
+
+// NewModel builds a power model from fitted leakage parameters.
+func NewModel(leak [platform.NumResources]LeakageParams) *Model {
+	m := &Model{Leak: leak}
+	for i := range m.AlphaC {
+		m.AlphaC[i] = NewAlphaCEstimator(0.5)
+	}
+	return m
+}
+
+// Observe updates the alphaC estimate of resource r from a sensor reading
+// taken at temperature tC, voltage v, and frequency f.
+func (m *Model) Observe(r platform.Resource, measuredPower, tC, v float64, f platform.KHz) {
+	leak := m.Leak[r].Power(tC, v)
+	m.AlphaC[r].Update(measuredPower, leak, v, f)
+}
+
+// LeakagePower returns the fitted leakage power of resource r.
+func (m *Model) LeakagePower(r platform.Resource, tC, v float64) float64 {
+	return m.Leak[r].Power(tC, v)
+}
+
+// PredictDynamic predicts the dynamic power of resource r at a candidate
+// voltage/frequency, assuming the current activity persists.
+func (m *Model) PredictDynamic(r platform.Resource, v float64, f platform.KHz) float64 {
+	return m.AlphaC[r].Value() * v * v * f.Hz()
+}
+
+// PredictTotal predicts total power of resource r at a candidate operating
+// point and temperature: dynamic (Eq. 4.1) plus fitted leakage (Eq. 4.2).
+func (m *Model) PredictTotal(r platform.Resource, tC, v float64, f platform.KHz) float64 {
+	return m.PredictDynamic(r, v, f) + m.LeakagePower(r, tC, v)
+}
+
+// FBudget solves Equation 5.7 for the frequency corresponding to a dynamic
+// power budget at supply voltage v:
+//
+//	P_budget = alphaC * V^2 * f_budget  =>  f_budget = P_budget / (alphaC V^2)
+//
+// It returns an error when no activity estimate is available yet.
+func (m *Model) FBudget(r platform.Resource, dynBudget, v float64) (platform.KHz, error) {
+	ac := m.AlphaC[r].Value()
+	if ac <= 0 {
+		return 0, fmt.Errorf("power: no alphaC estimate for %s yet", r)
+	}
+	if dynBudget <= 0 {
+		return 0, nil
+	}
+	fHz := dynBudget / (ac * v * v)
+	return platform.KHz(fHz / 1e3), nil
+}
+
+// QuantizeBudgetFreq walks the DVFS table of a domain downward and returns
+// the highest frequency whose predicted TOTAL power fits totalBudget at
+// temperature tC. This refines Eq. 5.7 by accounting for the voltage change
+// at each step (the paper computes f_budget at the current Vdd; the table
+// walk is the discrete equivalent, see DESIGN.md §5). The boolean reports
+// whether even the minimum step fits the budget.
+func (m *Model) QuantizeBudgetFreq(r platform.Resource, d *platform.Domain, tC, totalBudget float64) (platform.KHz, bool) {
+	for i := d.NumOPPs() - 1; i >= 0; i-- {
+		opp := d.OPPs[i]
+		if m.PredictTotal(r, tC, opp.Volt, opp.Freq) <= totalBudget {
+			return opp.Freq, true
+		}
+	}
+	return d.MinFreq(), false
+}
+
+// SplitMeasured splits a measured total power into (dynamic, leakage) using
+// the fitted leakage law, clamping dynamic at zero — the decomposition step
+// of Figure 4.4.
+func (m *Model) SplitMeasured(r platform.Resource, measuredPower, tC, v float64) (dyn, leak float64) {
+	leak = m.Leak[r].Power(tC, v)
+	dyn = measuredPower - leak
+	if dyn < 0 {
+		dyn = 0
+	}
+	return dyn, leak
+}
+
+// ValidateAgainst compares the model's total-power prediction with a
+// ground-truth breakdown across a temperature sweep at fixed activity; it
+// returns the maximum relative error. Used to regenerate Figure 4.7.
+func (m *Model) ValidateAgainst(measured, predicted []float64) float64 {
+	if len(measured) != len(predicted) {
+		panic("power: length mismatch")
+	}
+	worst := 0.0
+	for i := range measured {
+		if measured[i] == 0 {
+			continue
+		}
+		if e := math.Abs(predicted[i]-measured[i]) / measured[i]; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

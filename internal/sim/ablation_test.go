@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dtpm"
+	"repro/internal/workload"
+)
+
+// ablationResult runs matrixmult under DTPM with a modified controller
+// configuration.
+func ablationResult(t *testing.T, mutate func(*dtpm.Config)) *Result {
+	t.Helper()
+	ch := characterize(t)
+	cfg := dtpm.DefaultConfig()
+	mutate(&cfg)
+	b, err := workload.ByName("matrixmult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewRunner().Run(Options{
+		Policy: PolicyDTPM, Bench: b, Seed: 5,
+		Model: ch.Thermal, PowerModel: ch.Power, DTPM: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAblationOneStepBudget shows why the budget is computed at the
+// horizon. The literal one-step Eq. 5.5 swings between a too-generous
+// budget (one 100 ms step barely moves the temperature) and a collapsed
+// one (negative headroom once the target is crossed): with the guard band
+// still in place it costs double-digit execution time; with the guard and
+// asymmetry margin also removed it violates the constraint outright.
+func TestAblationOneStepBudget(t *testing.T) {
+	full := ablationResult(t, func(*dtpm.Config) {})
+	oneStep := ablationResult(t, func(c *dtpm.Config) { c.OneStepBudget = true })
+	bare := ablationResult(t, func(c *dtpm.Config) {
+		c.OneStepBudget = true
+		c.Guard = 0
+		c.AsymGain = 0
+	})
+	if full.OverTMax > 1 {
+		t.Fatalf("horizon budget spends %.1fs over the constraint", full.OverTMax)
+	}
+	if oneStep.ExecTime < full.ExecTime*1.05 {
+		t.Errorf("one-step budget exec %.1fs not clearly worse than horizon %.1fs",
+			oneStep.ExecTime, full.ExecTime)
+	}
+	if bare.OverTMax <= 5 {
+		t.Errorf("bare one-step controller spends only %.1fs over the constraint, expected sustained violation",
+			bare.OverTMax)
+	}
+}
+
+// TestAblationGuardBand shows the role of the guard band: without it the
+// regulated temperature rides right at the constraint, so prediction error
+// and board drift push it over.
+func TestAblationGuardBand(t *testing.T) {
+	full := ablationResult(t, func(*dtpm.Config) {})
+	noGuard := ablationResult(t, func(c *dtpm.Config) { c.Guard = 0 })
+	if noGuard.MaxTemp <= full.MaxTemp {
+		t.Errorf("no-guard max %.1f C not above guarded %.1f C", noGuard.MaxTemp, full.MaxTemp)
+	}
+	// Without the guard band the controller trades temperature headroom
+	// for performance: it must not be slower than the guarded run.
+	if noGuard.ExecTime > full.ExecTime+0.5 {
+		t.Errorf("no-guard exec %.1fs slower than guarded %.1fs", noGuard.ExecTime, full.ExecTime)
+	}
+}
+
+// TestAblationAsymMargin shows the asymmetry margin is what protects
+// single-threaded workloads: without it the aggregate power attribution
+// under-predicts the hot core and basicmath violates the constraint.
+func TestAblationAsymMargin(t *testing.T) {
+	ch := characterize(t)
+	run := func(gain float64) *Result {
+		cfg := dtpm.DefaultConfig()
+		cfg.AsymGain = gain
+		b, err := workload.ByName("basicmath")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewRunner().Run(Options{
+			Policy: PolicyDTPM, Bench: b, Seed: 5,
+			Model: ch.Thermal, PowerModel: ch.Power, DTPM: &cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := run(dtpm.DefaultConfig().AsymGain)
+	without := run(0)
+	if without.MaxTemp <= with.MaxTemp {
+		t.Errorf("no-margin max %.1f C not above compensated %.1f C",
+			without.MaxTemp, with.MaxTemp)
+	}
+	if with.MaxTemp > 63.5 {
+		t.Errorf("compensated run peaks at %.1f C, want <= 63.5", with.MaxTemp)
+	}
+}
+
+// TestAblationEscalationPatience shows the escalation counter prevents
+// transient budget deficits from hotplugging cores: with patience 1 the
+// run sheds cores (visible as longer execution), with the default it
+// regulates on frequency alone.
+func TestAblationEscalationPatience(t *testing.T) {
+	full := ablationResult(t, func(*dtpm.Config) {})
+	hasty := ablationResult(t, func(c *dtpm.Config) { c.EscalateIntervals = 1 })
+	if hasty.ExecTime < full.ExecTime-0.5 {
+		t.Errorf("hasty escalation faster (%.1fs) than patient (%.1fs)?",
+			hasty.ExecTime, full.ExecTime)
+	}
+	// Both must still regulate.
+	if hasty.OverTMax > 1 || full.OverTMax > 1 {
+		t.Errorf("regulation lost: hasty %.1fs, patient %.1fs over constraint",
+			hasty.OverTMax, full.OverTMax)
+	}
+}

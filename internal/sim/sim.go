@@ -1,0 +1,500 @@
+// Package sim is the full-system experiment harness: it wires the platform,
+// ground-truth power and thermal models, sensors, the simulated kernel with
+// its default governors, and one of the four §6.2 management policies, then
+// runs a benchmark to completion and reports the metrics of the evaluation:
+// execution time, platform power, temperature statistics, and temperature-
+// prediction accuracy.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dtpm"
+	"repro/internal/governor"
+	"repro/internal/kernel"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/stats"
+	"repro/internal/sysid"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Policy selects the thermal-management configuration of §6.2.
+type Policy int
+
+// The four experimental configurations.
+const (
+	// PolicyFan is the default configuration WITH the fan (stock Odroid).
+	PolicyFan Policy = iota
+	// PolicyNoFan disables the fan and runs only the default governor.
+	PolicyNoFan
+	// PolicyReactive is the fan-mimicking reactive throttling heuristic.
+	PolicyReactive
+	// PolicyDTPM is the paper's predictive algorithm.
+	PolicyDTPM
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyFan:
+		return "with-fan"
+	case PolicyNoFan:
+		return "without-fan"
+	case PolicyReactive:
+		return "reactive"
+	case PolicyDTPM:
+		return "dtpm"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configure one run.
+type Options struct {
+	Policy   Policy
+	Bench    workload.Benchmark
+	Governor string  // default cpufreq governor name ("" = ondemand)
+	Seed     int64   // sensor-noise / background seed
+	TMax     float64 // DTPM constraint (0 = paper default 63)
+	// MaxDuration caps the run (s); 0 = 4x the benchmark's nominal time.
+	MaxDuration float64
+	// ControlPeriod is the kernel tick (s); 0 = the paper's 100 ms.
+	ControlPeriod float64
+	// Record enables full trace recording.
+	Record bool
+	// PredHorizon is the prediction-accuracy accounting horizon in control
+	// intervals (0 = the paper's 10 intervals = 1 s). It does not change
+	// the DTPM controller's own horizon, only the §6.3.1 accounting.
+	PredHorizon int
+	// Model is the identified thermal model (required for PolicyDTPM; also
+	// used for prediction-accuracy accounting in any policy when set).
+	Model *sysid.ThermalModel
+	// PowerModel supplies fitted leakage parameters for DTPM (nil = fit
+	// omitted: ground-truth parameters are copied, representing a perfect
+	// §4.1 characterization).
+	PowerModel *power.Model
+	// DTPM overrides the controller configuration (nil = paper defaults
+	// with Options.TMax applied). Used by the ablation studies.
+	DTPM *dtpm.Config
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Bench     string
+	Policy    Policy
+	Completed bool
+	// ExecTime is the foreground completion time (s), or the elapsed time
+	// when the run hit MaxDuration.
+	ExecTime float64
+	// AvgPower / Energy are platform-level (external meter): W and J.
+	AvgPower float64
+	Energy   float64
+	// Temperature statistics over the max-core series (°C).
+	MaxTemp  float64
+	AvgTemp  float64
+	TempVar  float64
+	Spread   float64
+	OverTMax float64 // seconds spent above TMax
+	// Steady-state statistics exclude the cold-start ramp: the window opens
+	// at the first sample within 3 °C of TMax, or at 30% of the run if the
+	// trace never gets that hot. Figure 6.5's average-temperature and
+	// max-min comparison is computed over the regulated portion of the
+	// trace, so these are the fields the Fig. 6.5 experiment reports.
+	SSAvgTemp float64
+	SSTempVar float64
+	SSSpread  float64
+	// Prediction accuracy (when a model was provided): the §6.3.1 metrics.
+	PredMeanPct float64
+	PredMaxPct  float64
+	PredMaxAbsC float64
+	// Rec holds traces when Options.Record was set: series "maxtemp",
+	// "freq_ghz", "power_w", "fan", "cores", "cluster", "gpu_mhz",
+	// "board", "bigpower_w"; with a model also "predmax_c", and under
+	// PolicyDTPM additionally "dtpm_violation", "dtpm_budget_w",
+	// "dtpm_pred_c".
+	Rec *trace.Recorder
+}
+
+// Runner holds the simulated device shared across runs.
+type Runner struct {
+	GT      *power.GroundTruth
+	Thermal thermal.Params
+	Sensors sensor.Config
+}
+
+// NewRunner returns the default device.
+func NewRunner() *Runner {
+	return &Runner{
+		GT:      power.DefaultGroundTruth(),
+		Thermal: thermal.DefaultParams(),
+		Sensors: sensor.DefaultConfig(),
+	}
+}
+
+// groundTruthPowerModel builds a power.Model from the ground-truth leakage
+// parameters (a perfect §4.1 characterization).
+func (r *Runner) groundTruthPowerModel() *power.Model {
+	var leak [platform.NumResources]power.LeakageParams
+	for i := range leak {
+		leak[i] = r.GT.Res[i].Leak
+	}
+	return power.NewModel(leak)
+}
+
+// IdleState returns the warm-start state: the device idling (background
+// load only) long enough for the board to settle, like a phone sitting
+// before a benchmark is launched.
+func (r *Runner) IdleState() thermal.State {
+	chip := platform.NewChip()
+	if err := chip.Active().SetFreq(chip.Active().Domain.MinFreq()); err != nil {
+		panic(err)
+	}
+	sim := thermal.NewSim(r.Thermal)
+	act := power.ChipActivity{CoreUtil: [4]float64{0.05, 0.03, 0.03, 0.02}, CPUActivity: 1, MemTraffic: 0.05}
+	st := sim.State()
+	for i := 0; i < 4; i++ {
+		core, board := r.GT.CorePowers(chip, act, st.Core, st.Board)
+		st = sim.SteadyState(thermal.Input{CorePower: core, BoardPower: board})
+		sim.SetState(st)
+	}
+	return st
+}
+
+// Run executes one benchmark under one policy.
+func (r *Runner) Run(opt Options) (*Result, error) {
+	if opt.ControlPeriod == 0 {
+		opt.ControlPeriod = 0.1
+	}
+	if opt.TMax == 0 {
+		opt.TMax = 63
+	}
+	if opt.MaxDuration == 0 {
+		opt.MaxDuration = 4 * opt.Bench.NominalDuration()
+		if opt.MaxDuration < 60 {
+			opt.MaxDuration = 60
+		}
+	}
+	if opt.Governor == "" {
+		opt.Governor = "ondemand"
+	}
+	gov, err := governor.ByName(opt.Governor)
+	if err != nil {
+		return nil, err
+	}
+	gpuGov := governor.NewGPU()
+
+	chip := platform.NewChip()
+	tsim := thermal.NewSim(r.Thermal)
+	tsim.SetState(r.IdleState())
+	bank := sensor.NewBank(r.Sensors, opt.Seed)
+	fan := thermal.NewFanController()
+	reactive := dtpm.NewReactiveHeuristic()
+
+	var ctrl *dtpm.Controller
+	if opt.Policy == PolicyDTPM {
+		if opt.Model == nil {
+			return nil, fmt.Errorf("sim: PolicyDTPM requires an identified thermal model")
+		}
+		pm := opt.PowerModel
+		if pm == nil {
+			pm = r.groundTruthPowerModel()
+		}
+		cfg := dtpm.DefaultConfig()
+		if opt.DTPM != nil {
+			cfg = *opt.DTPM
+		}
+		cfg.TMax = opt.TMax
+		ctrl, err = dtpm.NewController(cfg, opt.Model, pm)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Workload setup: worker threads plus the Android background load.
+	sched := kernel.NewSched()
+	gen := workload.NewGenerator(opt.Bench)
+	for i := 0; i < opt.Bench.Threads; i++ {
+		sched.Add(&kernel.Task{
+			Name:     fmt.Sprintf("%s-%d", opt.Bench.Name, i),
+			Demand:   gen.DemandAt,
+			MemBound: opt.Bench.MemBound,
+			WorkLeft: opt.Bench.WorkPerThread,
+		})
+	}
+	bg := workload.NewBackground(opt.Seed + 77)
+	bgUtil := bg.UtilAt()
+	for i := 0; i < 4; i++ {
+		i := i
+		sched.Add(&kernel.Task{
+			Name:     fmt.Sprintf("bg-%d", i),
+			Demand:   func(float64) float64 { return bgUtil[i] },
+			MemBound: 0.3,
+			WorkLeft: math.Inf(1),
+		})
+	}
+
+	res := &Result{Bench: opt.Bench.Name, Policy: opt.Policy}
+	if opt.Record {
+		res.Rec = trace.NewRecorder()
+	}
+
+	dt := opt.ControlPeriod
+	horizon := opt.PredHorizon
+	if horizon <= 0 {
+		horizon = 10 // 1 s at 100 ms
+	}
+	var (
+		prevUtil      [4]float64
+		prevGPUUtil   float64
+		prevPowers    [platform.NumResources]float64
+		maxTempSeries []float64
+		energy        float64
+		// prediction accounting ring
+		predRing [][]float64
+	)
+	// Initialize the power observation with an idle reading.
+	idleAct := power.ChipActivity{CoreUtil: prevUtil, CPUActivity: 1}
+	b0 := r.GT.Evaluate(chip, idleAct, tsim.State().Core, tsim.State().Board)
+	prevPowers = b0.Domain
+
+	elapsed := 0.0
+	steps := int(opt.MaxDuration/dt) + 1
+	for k := 0; k < steps; k++ {
+		st := tsim.State()
+		sensedTemps := bank.ReadCoreTemps(st.Core)
+		sensedPowers := bank.ReadDomainPowers(prevPowers)
+		maxSensed := sensedTemps[0]
+		for _, t := range sensedTemps[1:] {
+			if t > maxSensed {
+				maxSensed = t
+			}
+		}
+
+		// Default governors decide from last interval's utilization.
+		active := chip.Active()
+		govFreq := gov.Decide(prevUtil, active.Freq(), active.Domain)
+		gpuWant := gpuGov.Decide(prevGPUUtil, chip.GPUFreq(), chip.GPUDomain)
+
+		fanSpeed := 0.0
+		effFreq := govFreq
+		effGPU := gpuWant
+		switch opt.Policy {
+		case PolicyFan:
+			fanSpeed = fan.Update(maxSensed)
+		case PolicyNoFan:
+			// governor only
+		case PolicyReactive:
+			if cap := reactive.Cap(maxSensed, active.Domain); cap != 0 && cap < effFreq {
+				effFreq = cap
+			}
+		case PolicyDTPM:
+			dec := ctrl.Update(chip, dtpm.Inputs{
+				Temps:        sensedTemps,
+				Powers:       sensedPowers,
+				GovernorFreq: govFreq,
+				GPUActive:    opt.Bench.GPUUtil > 0,
+			})
+			if res.Rec != nil {
+				viol := 0.0
+				if dec.Violation {
+					viol = 1
+				}
+				res.Rec.Record("dtpm_violation", elapsed, viol)
+				res.Rec.Record("dtpm_budget_w", elapsed, dec.TotalBudget)
+				res.Rec.Record("dtpm_pred_c", elapsed, dec.PredictedMax)
+			}
+			lim := dec.Limits
+			// Cluster migration.
+			if lim.ForceLittle && chip.ActiveKind() == platform.BigCluster {
+				chip.SwitchCluster(platform.LittleCluster)
+				sched.MigrateAll()
+				gov.Reset()
+				ctrl.Power.AlphaC[platform.Little].Reset()
+			} else if !lim.ForceLittle && chip.ActiveKind() == platform.LittleCluster {
+				chip.SwitchCluster(platform.BigCluster)
+				sched.MigrateAll()
+				gov.Reset()
+				ctrl.Power.AlphaC[platform.Big].Reset()
+			}
+			active = chip.Active()
+			// Hotplug to the allowed core count.
+			applyCoreLimit(chip, lim)
+			// Frequency caps.
+			effFreq = gov.Decide(prevUtil, active.Freq(), active.Domain)
+			if chip.ActiveKind() == platform.BigCluster && lim.BigFreqCap != 0 && lim.BigFreqCap < effFreq {
+				effFreq = lim.BigFreqCap
+			}
+			if chip.ActiveKind() == platform.LittleCluster && lim.LittleFreqCap != 0 && lim.LittleFreqCap < effFreq {
+				effFreq = lim.LittleFreqCap
+			}
+			if lim.GPUFreqCap != 0 && lim.GPUFreqCap < effGPU {
+				effGPU = lim.GPUFreqCap
+			}
+		}
+		if err := active.SetFreq(effFreq); err != nil {
+			return nil, err
+		}
+		if err := chip.SetGPUFreq(effGPU); err != nil {
+			return nil, err
+		}
+
+		// Prediction-accuracy accounting: predict the hottest core 1 s
+		// ahead from the current sensed state under current power.
+		if opt.Model != nil {
+			pred := opt.Model.PredictConst(sensedTemps[:], sensedPowers[:], horizon)
+			predRing = append(predRing, pred)
+			if res.Rec != nil {
+				// Timestamp at the instant the prediction refers to, so the
+				// series overlays the measured trace (Figure 4.9).
+				res.Rec.Record("predmax_c", elapsed+float64(horizon)*dt, stats.Max(pred))
+			}
+		}
+
+		// Advance the workload and refresh the background levels.
+		bgUtil = bg.UtilAt()
+		tick := sched.Tick(dt, active)
+		prevUtil = tick.CoreUtil
+
+		// GPU load: demand expressed at the max GPU frequency.
+		gpuDemand := gen.GPUUtilAt(elapsed)
+		gpuScale := float64(chip.GPUDomain.MaxFreq()) / float64(chip.GPUFreq())
+		prevGPUUtil = math.Min(1, gpuDemand*gpuScale)
+
+		// Ground-truth power and thermal step.
+		sumUtil := 0.0
+		for _, u := range tick.CoreUtil {
+			sumUtil += u
+		}
+		act := power.ChipActivity{
+			CoreUtil:    tick.CoreUtil,
+			CPUActivity: opt.Bench.CPUActivity,
+			GPUUtil:     prevGPUUtil,
+			GPUActivity: opt.Bench.GPUActivity,
+			MemTraffic:  opt.Bench.MemTraffic*math.Min(1, sumUtil) + 0.4*prevGPUUtil,
+			FanSpeed:    fanSpeed,
+		}
+		breakdown := r.GT.Evaluate(chip, act, st.Core, st.Board)
+		prevPowers = breakdown.Domain
+		corePow, boardPow := r.GT.CorePowers(chip, act, st.Core, st.Board)
+		tsim.Step(dt, thermal.Input{CorePower: corePow, BoardPower: boardPow, FanSpeed: fanSpeed})
+
+		// Metrics.
+		trueMax := st.MaxCore()
+		maxTempSeries = append(maxTempSeries, trueMax)
+		platPower := breakdown.Platform()
+		energy += platPower * dt
+		if trueMax > opt.TMax {
+			res.OverTMax += dt
+		}
+		if res.Rec != nil {
+			res.Rec.Record("maxtemp", elapsed, trueMax)
+			res.Rec.Record("freq_ghz", elapsed, active.Freq().GHz())
+			res.Rec.Record("power_w", elapsed, platPower)
+			res.Rec.Record("fan", elapsed, fanSpeed)
+			res.Rec.Record("cores", elapsed, float64(active.OnlineCount()))
+			res.Rec.Record("cluster", elapsed, float64(chip.ActiveKind()))
+			res.Rec.Record("gpu_mhz", elapsed, chip.GPUFreq().MHz())
+			res.Rec.Record("board", elapsed, st.Board)
+			res.Rec.Record("bigpower_w", elapsed, breakdown.Domain[platform.Big])
+		}
+		elapsed += dt
+
+		if sched.AllForegroundDone() {
+			res.Completed = true
+			break
+		}
+	}
+
+	if res.Completed {
+		res.ExecTime = sched.LastFinish()
+	} else {
+		res.ExecTime = elapsed
+	}
+	res.AvgPower = energy / elapsed
+	res.Energy = energy
+	res.MaxTemp = stats.Max(maxTempSeries)
+	res.AvgTemp = stats.Mean(maxTempSeries)
+	res.TempVar = stats.Variance(maxTempSeries)
+	res.Spread = stats.Spread(maxTempSeries)
+	ss := steadyWindow(maxTempSeries, opt.TMax)
+	res.SSAvgTemp = stats.Mean(ss)
+	res.SSTempVar = stats.Variance(ss)
+	res.SSSpread = stats.Spread(ss)
+
+	// Close the prediction accounting: compare each prediction with the
+	// true temperature measured `horizon` intervals later.
+	if opt.Model != nil {
+		var sum, worst, worstAbs float64
+		n := 0
+		for k := 0; k+horizon < len(maxTempSeries) && k < len(predRing); k++ {
+			predMax := stats.Max(predRing[k])
+			meas := maxTempSeries[k+horizon]
+			if meas <= 0 {
+				continue
+			}
+			abs := math.Abs(predMax - meas)
+			pct := 100 * abs / meas
+			sum += pct
+			n++
+			if pct > worst {
+				worst = pct
+			}
+			if abs > worstAbs {
+				worstAbs = abs
+			}
+		}
+		if n > 0 {
+			res.PredMeanPct = sum / float64(n)
+			res.PredMaxPct = worst
+			res.PredMaxAbsC = worstAbs
+		}
+	}
+	return res, nil
+}
+
+// steadyWindow returns the slice of the series after the cold-start ramp:
+// from the first sample within 8 °C of tMax, or from 30% of the run when the
+// trace never gets that hot.
+func steadyWindow(series []float64, tMax float64) []float64 {
+	if len(series) == 0 {
+		return series
+	}
+	start := int(0.3 * float64(len(series)))
+	for i, v := range series {
+		if v >= tMax-3 {
+			start = i
+			break
+		}
+	}
+	if start >= len(series) {
+		start = len(series) - 1
+	}
+	return series[start:]
+}
+
+// applyCoreLimit hotplugs big-cluster cores to match the DTPM limit.
+func applyCoreLimit(chip *platform.Chip, lim dtpm.Limits) {
+	if chip.ActiveKind() != platform.BigCluster {
+		return
+	}
+	cl := chip.BigCluster
+	if lim.OfflineCore >= 0 && cl.OnlineCount() > lim.MaxBigCores {
+		_ = cl.SetCoreOnline(lim.OfflineCore, false)
+	}
+	// Shed further cores if still above the limit (deterministic order).
+	for i := platform.CoresPerCluster - 1; i >= 0 && cl.OnlineCount() > lim.MaxBigCores; i-- {
+		if cl.CoreOnline(i) {
+			_ = cl.SetCoreOnline(i, false)
+		}
+	}
+	// Restore cores when allowed.
+	for i := 0; i < platform.CoresPerCluster && cl.OnlineCount() < lim.MaxBigCores; i++ {
+		if !cl.CoreOnline(i) {
+			_ = cl.SetCoreOnline(i, true)
+		}
+	}
+}

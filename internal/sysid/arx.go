@@ -1,0 +1,323 @@
+package sysid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// NumStates is the thermal model order: the four big-core hotspots (§4.2).
+const NumStates = 4
+
+// NumInputs is the number of power inputs: big, little, GPU, mem (Eq. 5.3).
+const NumInputs = 4
+
+// Dataset is one identification experiment: synchronized temperature and
+// power time series sampled every Ts seconds at a known ambient.
+type Dataset struct {
+	Ts      float64     // sampling period, seconds
+	Ambient float64     // °C; temperatures are modelled relative to this
+	Temps   [][]float64 // N samples of the 4 hotspot temperatures (°C)
+	Powers  [][]float64 // N samples of the 4 domain powers (W)
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Temps) }
+
+// Append adds one synchronized sample.
+func (d *Dataset) Append(temps [NumStates]float64, powers [NumInputs]float64) {
+	d.Temps = append(d.Temps, temps[:])
+	d.Powers = append(d.Powers, powers[:])
+}
+
+// validate checks shape invariants.
+func (d *Dataset) validate() error {
+	if d.Ts <= 0 {
+		return errors.New("sysid: dataset Ts must be positive")
+	}
+	if len(d.Temps) != len(d.Powers) {
+		return errors.New("sysid: temperature/power sample counts differ")
+	}
+	if len(d.Temps) < 2 {
+		return errors.New("sysid: need at least two samples")
+	}
+	for i := range d.Temps {
+		if len(d.Temps[i]) != NumStates || len(d.Powers[i]) != NumInputs {
+			return fmt.Errorf("sysid: sample %d has wrong width", i)
+		}
+	}
+	return nil
+}
+
+// ThermalModel is the identified discrete state-space model of Eq. 4.4:
+//
+//	T[k+1] = A T[k] + B P[k]
+//
+// with T expressed RELATIVE TO AMBIENT (the affine-free form of Eq. 4.4 is
+// exact in that coordinate; see DESIGN.md §5). All public methods take and
+// return absolute °C.
+type ThermalModel struct {
+	A       *mat.Mat // NumStates x NumStates
+	B       *mat.Mat // NumStates x NumInputs
+	Ts      float64  // seconds
+	Ambient float64  // °C
+
+	gains map[int][2]*mat.Mat // HorizonGains cache, keyed by n
+}
+
+// Stable reports whether the identified A matrix is (estimated) Schur
+// stable, i.e. its spectral radius is below one. Identified thermal models
+// must be stable; an unstable fit indicates a bad experiment.
+func (m *ThermalModel) Stable() bool {
+	return mat.DominantEigenvalue(m.A, 200) < 1.0
+}
+
+// Step predicts the next-interval temperatures (°C) from the current
+// temperatures (°C) and the domain powers held over the interval.
+func (m *ThermalModel) Step(tempC, powers []float64) []float64 {
+	dt := make([]float64, NumStates)
+	for i := range dt {
+		dt[i] = tempC[i] - m.Ambient
+	}
+	next := mat.AddVec(m.A.MulVec(dt), m.B.MulVec(powers))
+	for i := range next {
+		next[i] += m.Ambient
+	}
+	return next
+}
+
+// Predict implements Equation 4.5: the temperature n steps ahead given the
+// power trajectory P[k], P[k+1], ..., P[k+n-1]. When the trajectory is
+// shorter than n, the last entry is held (the DTPM algorithm predicts under
+// "the current decision persists").
+func (m *ThermalModel) Predict(tempC []float64, powerTraj [][]float64, n int) []float64 {
+	cur := make([]float64, NumStates)
+	copy(cur, tempC)
+	for i := 0; i < n; i++ {
+		p := powerTraj[len(powerTraj)-1]
+		if i < len(powerTraj) {
+			p = powerTraj[i]
+		}
+		cur = m.Step(cur, p)
+	}
+	return cur
+}
+
+// PredictConst predicts n steps ahead with constant power, the common case
+// in the DTPM control loop (Figure 5.1).
+func (m *ThermalModel) PredictConst(tempC, powers []float64, n int) []float64 {
+	return m.Predict(tempC, [][]float64{powers}, n)
+}
+
+// HorizonGains returns the n-step form of Equation 4.5 under constant power,
+//
+//	T[k+n] = A^n T[k] + (Σ_{i=0}^{n-1} A^i B) P,
+//
+// i.e. An = A^n and Bn = Σ A^i·B. The DTPM budget computation uses a row of
+// these matrices so that holding the budgeted power for the whole horizon —
+// not only one step — lands exactly on the constraint (the n-step
+// generalization of Eq. 5.5). Results are cached per horizon.
+func (m *ThermalModel) HorizonGains(n int) (an, bn *mat.Mat) {
+	if n < 1 {
+		n = 1
+	}
+	if m.gains == nil {
+		m.gains = make(map[int][2]*mat.Mat)
+	}
+	if g, ok := m.gains[n]; ok {
+		return g[0], g[1]
+	}
+	an = mat.Identity(NumStates)
+	bn = mat.New(NumStates, NumInputs)
+	for i := 0; i < n; i++ {
+		bn = bn.Add(an.Mul(m.B))
+		an = an.Mul(m.A)
+	}
+	m.gains[n] = [2]*mat.Mat{an, bn}
+	return an, bn
+}
+
+// minExcitation is the minimum peak-to-peak swing (W) a power input needs
+// before its B column is identifiable from a dataset. Inputs below it are
+// excluded from the regression (their column stays zero) — this is why the
+// paper runs one dedicated experiment per resource (§4.2.1): "Individual
+// test signals for different power resources are applied and corresponding
+// parameters are modeled."
+const minExcitation = 0.05
+
+// excitedInputs returns the indices of power inputs whose swing exceeds
+// minExcitation in the dataset.
+func excitedInputs(d *Dataset) []int {
+	var out []int
+	for j := 0; j < NumInputs; j++ {
+		lo, hi := d.Powers[0][j], d.Powers[0][j]
+		for k := range d.Powers {
+			v := d.Powers[k][j]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo >= minExcitation {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Identify fits A and B jointly by per-row least squares over the whole
+// dataset: for each hotspot i,
+//
+//	dT_i[k+1] = a_i . dT[k] + b_i . P[k]
+//
+// where dT = T - ambient. Power inputs that are not excited in the dataset
+// (e.g. a power-gated cluster) are excluded from the regression and keep a
+// zero column in B. This is the single-experiment variant; the paper's
+// staged per-resource procedure is IdentifyStaged.
+func Identify(d *Dataset) (*ThermalModel, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	excited := excitedInputs(d)
+	if len(excited) == 0 {
+		return nil, errors.New("sysid: no power input is excited in the dataset")
+	}
+	n := d.Len() - 1
+	cols := NumStates + len(excited)
+	if n < cols {
+		return nil, fmt.Errorf("sysid: %d transitions insufficient for %d parameters per row", n, cols)
+	}
+	reg := mat.New(n, cols)
+	for k := 0; k < n; k++ {
+		for j := 0; j < NumStates; j++ {
+			reg.Set(k, j, d.Temps[k][j]-d.Ambient)
+		}
+		for c, j := range excited {
+			reg.Set(k, NumStates+c, d.Powers[k][j])
+		}
+	}
+	model := &ThermalModel{
+		A:       mat.New(NumStates, NumStates),
+		B:       mat.New(NumStates, NumInputs),
+		Ts:      d.Ts,
+		Ambient: d.Ambient,
+	}
+	target := make([]float64, n)
+	for i := 0; i < NumStates; i++ {
+		for k := 0; k < n; k++ {
+			target[k] = d.Temps[k+1][i] - d.Ambient
+		}
+		coef, err := mat.LeastSquares(reg, target)
+		if err != nil {
+			return nil, fmt.Errorf("sysid: row %d: %w", i, err)
+		}
+		for j := 0; j < NumStates; j++ {
+			model.A.Set(i, j, coef[j])
+		}
+		for c, j := range excited {
+			model.B.Set(i, j, coef[NumStates+c])
+		}
+	}
+	return model, nil
+}
+
+// IdentifyStaged reproduces the paper's procedure (§4.2.1): "Individual test
+// signals for different power resources are applied and corresponding
+// parameters are modeled." The first dataset must excite the big cluster
+// (the dominant input); it determines A and B's big column. Each subsequent
+// dataset excites one additional resource (given by its index in order) and
+// fits only that B column against the residual unexplained by the already
+// identified parameters.
+//
+// datasets[r] excites resource r (0 = big, 1 = little, 2 = GPU, 3 = mem).
+// Nil entries are allowed for resources that were not characterized; their
+// B columns stay zero.
+func IdentifyStaged(datasets []*Dataset) (*ThermalModel, error) {
+	if len(datasets) == 0 || datasets[0] == nil {
+		return nil, errors.New("sysid: staged identification requires the big-cluster dataset first")
+	}
+	base, err := Identify(datasets[0])
+	if err != nil {
+		return nil, fmt.Errorf("sysid: stage 0: %w", err)
+	}
+	// The big-cluster experiment holds other sources near-constant; their
+	// small steady contribution leaks into the fitted columns. Keep the big
+	// column, re-fit the rest from the dedicated experiments.
+	for r := 1; r < NumInputs && r < len(datasets); r++ {
+		d := datasets[r]
+		if d == nil {
+			continue
+		}
+		if err := d.validate(); err != nil {
+			return nil, fmt.Errorf("sysid: stage %d: %w", r, err)
+		}
+		n := d.Len() - 1
+		for i := 0; i < NumStates; i++ {
+			// Residual after A and the already-known columns (all except r).
+			num, den := 0.0, 0.0
+			for k := 0; k < n; k++ {
+				pred := 0.0
+				for j := 0; j < NumStates; j++ {
+					pred += base.A.At(i, j) * (d.Temps[k][j] - d.Ambient)
+				}
+				for j := 0; j < NumInputs; j++ {
+					if j == r {
+						continue
+					}
+					pred += base.B.At(i, j) * d.Powers[k][j]
+				}
+				resid := (d.Temps[k+1][i] - d.Ambient) - pred
+				x := d.Powers[k][r]
+				num += x * resid
+				den += x * x
+			}
+			if den > 0 {
+				base.B.Set(i, r, num/den)
+			}
+		}
+	}
+	return base, nil
+}
+
+// ValidationError replays a dataset through the model predicting `horizon`
+// steps ahead at every sample and returns (meanPct, maxPct, maxAbsC): the
+// metrics of Figures 4.9, 4.10 and 6.2. Prediction at sample k uses the
+// MEASURED temperatures at k and the recorded power trajectory over the
+// horizon, exactly as the kernel validation does (§6.3.1).
+func ValidationError(m *ThermalModel, d *Dataset, horizon int) (meanPct, maxPct, maxAbsC float64) {
+	if horizon < 1 {
+		horizon = 1
+	}
+	n := d.Len()
+	count := 0
+	var sumPct float64
+	for k := 0; k+horizon < n; k++ {
+		pred := m.Predict(d.Temps[k], d.Powers[k:k+horizon], horizon)
+		for i := 0; i < NumStates; i++ {
+			meas := d.Temps[k+horizon][i]
+			if meas <= 0 {
+				continue
+			}
+			abs := pred[i] - meas
+			if abs < 0 {
+				abs = -abs
+			}
+			pct := 100 * abs / meas
+			sumPct += pct
+			count++
+			if pct > maxPct {
+				maxPct = pct
+			}
+			if abs > maxAbsC {
+				maxAbsC = abs
+			}
+		}
+	}
+	if count > 0 {
+		meanPct = sumPct / float64(count)
+	}
+	return meanPct, maxPct, maxAbsC
+}

@@ -1,0 +1,329 @@
+// Package thermal implements the ground-truth thermal behaviour of the
+// simulated Odroid-XU+E: a lumped RC network following the electrical
+// duality of Equation 4.3,
+//
+//	C_t dT/dt = -G_t (T - T_amb) + M P
+//
+// with five nodes — the four big-core hotspots (which carry the on-die
+// temperature sensors, §6.1.2) and one board/package node that aggregates
+// the little cluster, GPU, memory, and case. The fan adds convective
+// conductance from the board node to ambient.
+//
+// The identified model of §4.2 (package sysid) is a 4-state discretized
+// approximation of this 5-state continuous network, exactly mirroring the
+// situation on real silicon where the identified model is low-order
+// relative to the physical heat-flow system.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumCoreNodes is the number of hotspot (sensor-bearing) nodes.
+const NumCoreNodes = 4
+
+// Params describe the RC network.
+type Params struct {
+	// CCore is each core node's thermal capacitance (J/K).
+	CCore float64
+	// CBoard is the board/package node capacitance (J/K).
+	CBoard float64
+	// GCoreBoard is the conductance from each core to the board (W/K).
+	GCoreBoard float64
+	// GCoreCore is the conductance between adjacent cores (W/K); cores are
+	// arranged 0-1 / 2-3 in a 2x2 grid (Figure 1.2) with 4-neighbour
+	// coupling.
+	GCoreCore float64
+	// CoreAsym are per-core multipliers on GCoreBoard modelling floorplan
+	// asymmetry (corner vs. center placement, TIM thickness variation).
+	// Real dies are never perfectly symmetric; this is also what makes the
+	// 4-output identification problem well posed. Zero entries are treated
+	// as 1 (no asymmetry) so the zero value of Params stays usable.
+	CoreAsym [NumCoreNodes]float64
+	// GBoardAmb is the passive board-to-ambient conductance (W/K).
+	GBoardAmb float64
+	// GFanMax is the extra board-to-ambient convective conductance at 100%
+	// fan speed (W/K).
+	GFanMax float64
+	// GFanCoreMax is the extra per-core convective conductance at 100% fan
+	// speed (W/K): the stock fan blows directly over the SoC heatsink, so
+	// it cools the die, not only the board.
+	GFanCoreMax float64
+	// Ambient is the ambient temperature in °C.
+	Ambient float64
+}
+
+// DefaultParams returns the calibrated network. The constants are chosen so
+// the simulated platform matches the paper's measured thermal behaviour:
+// no-fan high load exceeds 85 °C within minutes (Figure 1.1), full fan holds
+// ~55-62 °C, PRBS power swings of ~2.4 W move the hotspots by 10-20 °C with
+// a time constant of a few seconds (Figure 4.8), and the board drifts with a
+// ~2-3 minute time constant.
+func DefaultParams() Params {
+	return Params{
+		CCore:       0.50,
+		CBoard:      5.0,
+		GCoreBoard:  0.080,
+		GCoreCore:   0.300,
+		CoreAsym:    [NumCoreNodes]float64{1.00, 1.07, 0.94, 1.03},
+		GBoardAmb:   0.071,
+		GFanMax:     0.280,
+		GFanCoreMax: 0.040,
+		Ambient:     30.0,
+	}
+}
+
+// coreNeighbors lists the 2x2-grid adjacency of the big cores.
+var coreNeighbors = [NumCoreNodes][]int{
+	0: {1, 2},
+	1: {0, 3},
+	2: {0, 3},
+	3: {1, 2},
+}
+
+// State is the instantaneous temperature of every node in °C.
+type State struct {
+	Core  [NumCoreNodes]float64
+	Board float64
+}
+
+// MaxCore returns the hottest core temperature.
+func (s State) MaxCore() float64 {
+	m := s.Core[0]
+	for _, t := range s.Core[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// HottestCore returns the index of the hottest core.
+func (s State) HottestCore() int {
+	idx := 0
+	for i, t := range s.Core {
+		if t > s.Core[idx] {
+			idx = i
+		}
+		_ = t
+	}
+	return idx
+}
+
+// Input is the power injected into the network during one step.
+type Input struct {
+	// CorePower is the per-core power of the big cluster (W). When the
+	// little cluster is active these are ~0 and its power appears in
+	// BoardPower.
+	CorePower [NumCoreNodes]float64
+	// BoardPower aggregates little-cluster, GPU, and memory power (W).
+	BoardPower float64
+	// FanSpeed is the fan speed fraction [0, 1].
+	FanSpeed float64
+}
+
+// Sim integrates the network.
+type Sim struct {
+	P Params
+	s State
+}
+
+// NewSim returns a simulator with every node at ambient.
+func NewSim(p Params) *Sim {
+	sim := &Sim{P: p}
+	sim.Reset()
+	return sim
+}
+
+// Reset returns every node to ambient temperature.
+func (s *Sim) Reset() {
+	for i := range s.s.Core {
+		s.s.Core[i] = s.P.Ambient
+	}
+	s.s.Board = s.P.Ambient
+}
+
+// SetState forces the node temperatures (used by tests and the furnace).
+func (s *Sim) SetState(st State) { s.s = st }
+
+// State returns the current node temperatures.
+func (s *Sim) State() State { return s.s }
+
+// derivative evaluates dT/dt for the current state and input.
+func (s *Sim) derivative(st State, in Input) (dCore [NumCoreNodes]float64, dBoard float64) {
+	p := s.P
+	// Convective conductance grows strongly superlinearly with fan duty
+	// (airflow rises with RPM and the boundary layer thins with airflow);
+	// a quartic law makes the stock controller's idle duty nearly neutral
+	// and its upper steps aggressive. The resulting over-cool/re-heat
+	// limit cycle is the wide with-fan oscillation of Figures 6.3-6.4.
+	fan := clamp01(in.FanSpeed)
+	fanEff := fan * fan * fan * fan
+	gAmb := p.GBoardAmb + p.GFanMax*fanEff
+	gFanCore := p.GFanCoreMax * fanEff
+	var toBoard float64
+	for i := 0; i < NumCoreNodes; i++ {
+		gcb := p.GCoreBoard * coreAsym(p, i)
+		q := in.CorePower[i]
+		q -= gcb * (st.Core[i] - st.Board)
+		q -= gFanCore * (st.Core[i] - p.Ambient)
+		for _, j := range coreNeighbors[i] {
+			q -= p.GCoreCore * (st.Core[i] - st.Core[j])
+		}
+		dCore[i] = q / p.CCore
+		toBoard += gcb * (st.Core[i] - st.Board)
+	}
+	qb := in.BoardPower + toBoard - gAmb*(st.Board-p.Ambient)
+	dBoard = qb / p.CBoard
+	return dCore, dBoard
+}
+
+// Step advances the network by dt seconds with the given input, using RK4
+// with internal sub-stepping sized to the fastest time constant so the
+// integration stays stable for any caller-supplied dt.
+func (s *Sim) Step(dt float64, in Input) State {
+	if dt <= 0 {
+		return s.s
+	}
+	// Fastest time constant ~ CCore / (GCoreBoard + 2*GCoreCore).
+	tau := s.P.CCore / (s.P.GCoreBoard + 2*s.P.GCoreCore)
+	sub := int(math.Ceil(dt / (tau / 4)))
+	if sub < 1 {
+		sub = 1
+	}
+	h := dt / float64(sub)
+	for n := 0; n < sub; n++ {
+		s.rk4(h, in)
+	}
+	return s.s
+}
+
+func (s *Sim) rk4(h float64, in Input) {
+	add := func(st State, kc [NumCoreNodes]float64, kb, w float64) State {
+		for i := range st.Core {
+			st.Core[i] += w * kc[i]
+		}
+		st.Board += w * kb
+		return st
+	}
+	k1c, k1b := s.derivative(s.s, in)
+	k2c, k2b := s.derivative(add(s.s, k1c, k1b, h/2), in)
+	k3c, k3b := s.derivative(add(s.s, k2c, k2b, h/2), in)
+	k4c, k4b := s.derivative(add(s.s, k3c, k3b, h), in)
+	for i := range s.s.Core {
+		s.s.Core[i] += h / 6 * (k1c[i] + 2*k2c[i] + 2*k3c[i] + k4c[i])
+	}
+	s.s.Board += h / 6 * (k1b + 2*k2b + 2*k3b + k4b)
+}
+
+// SteadyState returns the equilibrium temperatures for a constant input,
+// found by integrating until the largest derivative is negligible.
+func (s *Sim) SteadyState(in Input) State {
+	saved := s.s
+	defer func() { s.s = saved }()
+	for iter := 0; iter < 200000; iter++ {
+		s.Step(1.0, in)
+		dc, db := s.derivative(s.s, in)
+		m := math.Abs(db)
+		for _, d := range dc {
+			if math.Abs(d) > m {
+				m = math.Abs(d)
+			}
+		}
+		if m < 1e-7 {
+			break
+		}
+	}
+	return s.s
+}
+
+// coreAsym returns the effective asymmetry multiplier for core i,
+// treating a zero entry as 1.
+func coreAsym(p Params, i int) float64 {
+	if p.CoreAsym[i] == 0 {
+		return 1
+	}
+	return p.CoreAsym[i]
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// FanController reproduces the stock Odroid-XU+E fan policy (§6.2):
+// the fan idles at a low duty whenever the board is powered (the stock fan
+// never fully stops), activates when the maximum core temperature exceeds
+// 57 °C, steps to 50% above 63 °C, and to 100% above 68 °C. Hysteresis
+// (3 °C) prevents chattering exactly at a threshold. The always-spinning
+// idle duty is what makes "avoiding the fan, even if it is rarely active"
+// worth ~3% platform power on low-activity workloads (§6.3.3).
+type FanController struct {
+	OnTemp    float64 // °C, fan steps to LowSpeed
+	MidTemp   float64 // °C, fan steps to MidSpeed
+	HighTemp  float64 // °C, 100% speed
+	IdleSpeed float64 // always-on floor duty
+	LowSpeed  float64 // duty at the first threshold
+	MidSpeed  float64 // duty at the second threshold
+	Hyst      float64 // °C of hysteresis when stepping back down
+
+	speed float64
+}
+
+// NewFanController returns the stock thresholds: 57/63/68 °C.
+func NewFanController() *FanController {
+	return &FanController{
+		OnTemp: 57, MidTemp: 63, HighTemp: 68,
+		IdleSpeed: 0.30, LowSpeed: 0.50, MidSpeed: 0.75,
+		Hyst: 3,
+	}
+}
+
+// Update advances the controller with the current max core temperature and
+// returns the commanded fan speed fraction.
+func (f *FanController) Update(maxCoreTemp float64) float64 {
+	switch {
+	case maxCoreTemp > f.HighTemp:
+		f.speed = 1.0
+	case maxCoreTemp > f.MidTemp:
+		if f.speed < f.MidSpeed || maxCoreTemp < f.HighTemp-f.Hyst {
+			f.speed = f.MidSpeed
+		}
+	case maxCoreTemp > f.OnTemp:
+		if f.speed < f.LowSpeed || maxCoreTemp < f.MidTemp-f.Hyst {
+			f.speed = f.LowSpeed
+		}
+	case maxCoreTemp < f.OnTemp-f.Hyst:
+		f.speed = f.IdleSpeed
+	default:
+		if f.speed < f.IdleSpeed {
+			f.speed = f.IdleSpeed
+		}
+	}
+	return f.speed
+}
+
+// Speed returns the current fan speed fraction.
+func (f *FanController) Speed() float64 { return f.speed }
+
+// Validate sanity-checks the parameter set.
+func (p Params) Validate() error {
+	if p.CCore <= 0 || p.CBoard <= 0 {
+		return fmt.Errorf("thermal: capacitances must be positive")
+	}
+	if p.GCoreBoard <= 0 || p.GBoardAmb <= 0 || p.GCoreCore < 0 || p.GFanMax < 0 || p.GFanCoreMax < 0 {
+		return fmt.Errorf("thermal: conductances must be positive")
+	}
+	for i, a := range p.CoreAsym {
+		if a < 0 {
+			return fmt.Errorf("thermal: CoreAsym[%d] negative", i)
+		}
+	}
+	return nil
+}

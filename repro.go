@@ -1,0 +1,268 @@
+// Package repro is the public API of the reproduction of "Predictive
+// Dynamic Thermal and Power Management for Heterogeneous Mobile Platforms"
+// (Singla et al., DATE 2015 / ASU MS thesis 2015).
+//
+// The library simulates an Odroid-XU+E class big.LITTLE platform (Samsung
+// Exynos 5410: 4x Cortex-A15 + 4x Cortex-A7 + GPU + memory), reproduces the
+// paper's power/thermal modeling methodology (Chapter 4), its predictive
+// DTPM algorithm (Chapter 5), and regenerates every table and figure of its
+// evaluation (Chapter 6) plus the power-budget-distribution extension
+// (Chapter 7).
+//
+// Typical use:
+//
+//	dev := repro.NewDevice()
+//	models, err := dev.Characterize(1)        // §4: furnace + PRBS sysid
+//	res, err := dev.Run(repro.RunSpec{        // §6: one benchmark run
+//	    Benchmark: "templerun",
+//	    Policy:    repro.DTPM,
+//	    Models:    models,
+//	})
+//	fmt.Println(res.Summary())
+//
+// To regenerate a paper artifact:
+//
+//	rep, err := repro.RunExperiment("fig6.9", 1)
+//	fmt.Println(rep)
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/budget"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Policy selects the thermal-management configuration of §6.2.
+type Policy = sim.Policy
+
+// The four experimental configurations of the paper's evaluation.
+const (
+	// WithFan is the stock Odroid configuration: default governors plus
+	// the 57/63/68 °C fan speed ladder.
+	WithFan = sim.PolicyFan
+	// WithoutFan disables the fan and runs only the default governors.
+	WithoutFan = sim.PolicyNoFan
+	// Reactive is the fan-mimicking heuristic: 18%/25% frequency cuts at
+	// 63/68 °C.
+	Reactive = sim.PolicyReactive
+	// DTPM is the paper's predictive algorithm.
+	DTPM = sim.PolicyDTPM
+)
+
+// Models holds the outcome of the Chapter 4 characterization: the
+// identified thermal state-space model and the fitted power model the DTPM
+// controller deploys.
+type Models struct {
+	c *sim.Characterization
+}
+
+// Describe renders the identified thermal model and the fitted leakage law
+// in human-readable form.
+func (m *Models) Describe() string {
+	var b strings.Builder
+	tm := m.c.Thermal
+	fmt.Fprintf(&b, "thermal model T[k+1] = A T[k] + B P[k]  (Ts %.1f s, ambient %.1f C, stable %v)\n",
+		tm.Ts, tm.Ambient, tm.Stable())
+	fmt.Fprintf(&b, "A =\n%sB =\n%s", tm.A, tm.B)
+	lk := m.c.Leakage
+	fmt.Fprintf(&b, "big-cluster leakage I(T) = c1 T^2 exp(c2/T) + Igate: c1=%.3g c2=%.0f Igate=%.3g A\n",
+		lk.C1, lk.C2, lk.IGate)
+	return b.String()
+}
+
+// LeakageAt evaluates the fitted big-cluster leakage power (W) at a core
+// temperature (°C) and supply voltage (V) — the Figure 4.3 curve.
+func (m *Models) LeakageAt(tempC, volt float64) float64 {
+	return m.c.Leakage.Power(tempC, volt)
+}
+
+// PredictTemperature predicts the hotspot temperatures (°C) n control
+// intervals (100 ms each) ahead, from current core temperatures and domain
+// powers [big, little, gpu, mem] in watts — Equation 4.5.
+func (m *Models) PredictTemperature(tempC [4]float64, powersW [4]float64, n int) [4]float64 {
+	out := m.c.Thermal.PredictConst(tempC[:], powersW[:], n)
+	var res [4]float64
+	copy(res[:], out)
+	return res
+}
+
+// Device is a simulated Odroid-XU+E class platform.
+type Device struct {
+	r *sim.Runner
+}
+
+// NewDevice returns the default calibrated device.
+func NewDevice() *Device {
+	return &Device{r: sim.NewRunner()}
+}
+
+// Characterize runs the complete Chapter 4 modeling methodology against
+// the device: the temperature-furnace leakage characterization (§4.1.1)
+// and the per-resource PRBS thermal system identification (§4.2.1). The
+// models come from noisy sensor data, exactly as on hardware.
+func (d *Device) Characterize(seed int64) (*Models, error) {
+	ch, err := d.r.Characterize(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Models{c: ch}, nil
+}
+
+// RunSpec describes one benchmark run.
+type RunSpec struct {
+	// Benchmark is a Table 6.4 name; see Benchmarks().
+	Benchmark string
+	// Policy is the thermal-management configuration.
+	Policy Policy
+	// Models is required for the DTPM policy (and enables the §6.3.1
+	// prediction-accuracy accounting under any policy).
+	Models *Models
+	// Seed controls sensor noise and the background load (default 0).
+	Seed int64
+	// TMax overrides the 63 °C constraint (0 = paper default).
+	TMax float64
+	// Governor overrides the default cpufreq governor ("" = ondemand;
+	// also: interactive, performance, powersave).
+	Governor string
+	// Record retains full time traces in Result.Trace.
+	Record bool
+}
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	*sim.Result
+}
+
+// Summary renders the §6 metrics in one line.
+func (r *Result) Summary() string {
+	return fmt.Sprintf(
+		"%s under %s: exec=%.1fs power=%.2fW energy=%.0fJ maxT=%.1fC avgT=%.1fC over63=%.1fs predErr=%.2f%%",
+		r.Bench, r.Policy, r.ExecTime, r.AvgPower, r.Energy, r.MaxTemp, r.AvgTemp, r.OverTMax, r.PredMeanPct)
+}
+
+// Run executes one benchmark under one policy.
+func (d *Device) Run(spec RunSpec) (*Result, error) {
+	b, err := workload.ByName(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	opt := sim.Options{
+		Policy:   spec.Policy,
+		Bench:    b,
+		Seed:     spec.Seed,
+		TMax:     spec.TMax,
+		Governor: spec.Governor,
+		Record:   spec.Record,
+	}
+	if spec.Models != nil {
+		opt.Model = spec.Models.c.Thermal
+		opt.PowerModel = spec.Models.c.Power
+	}
+	res, err := d.r.Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res}, nil
+}
+
+// Compare runs the benchmark under every policy and reports each result,
+// in the §6.2 configuration order.
+func (d *Device) Compare(bench string, models *Models, seed int64) ([]*Result, error) {
+	var out []*Result
+	for _, pol := range []Policy{WithFan, WithoutFan, Reactive, DTPM} {
+		res, err := d.Run(RunSpec{Benchmark: bench, Policy: pol, Models: models, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Benchmarks returns the Table 6.4 benchmark names.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarksByClass returns benchmark names in a power class:
+// "low", "medium", or "high".
+func BenchmarksByClass(class string) ([]string, error) {
+	switch strings.ToLower(class) {
+	case "low":
+		return workload.ByClass(workload.Low), nil
+	case "medium":
+		return workload.ByClass(workload.Medium), nil
+	case "high":
+		return workload.ByClass(workload.High), nil
+	}
+	return nil, fmt.Errorf("repro: unknown class %q (low, medium, high)", class)
+}
+
+// ExperimentIDs lists the regenerable paper artifacts (tables and figures).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact by ID ("fig6.9", "tab6.4",
+// ...) and returns its rendered report. The seed fixes all stochastic
+// parts, so reports regenerate identically.
+func RunExperiment(id string, seed int64) (string, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	ctx, err := experiments.NewContext(seed)
+	if err != nil {
+		return "", err
+	}
+	rep, err := e.Run(ctx)
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// RunAllExperiments regenerates every artifact, sharing one device and
+// characterization, and returns the concatenated reports in paper order.
+func RunAllExperiments(seed int64) (string, error) {
+	ctx, err := experiments.NewContext(seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, e := range experiments.All() {
+		rep, err := e.Run(ctx)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", e.ID, err)
+		}
+		b.WriteString(rep.String())
+		b.WriteString("\n\n")
+	}
+	return b.String(), nil
+}
+
+// ErrBudgetInfeasible reports that even the all-minimum-frequency
+// configuration exceeds the requested power budget.
+var ErrBudgetInfeasible = budget.ErrInfeasible
+
+// BudgetComponent re-exports the Chapter 7 component model.
+type BudgetComponent = budget.Component
+
+// BudgetSolution re-exports the Chapter 7 solver outcome.
+type BudgetSolution = budget.Solution
+
+// DefaultBudgetComponents returns the Figure 7.1 decomposition (big CPU
+// cluster, little CPU cluster, GPU).
+func DefaultBudgetComponents() []BudgetComponent { return budget.DefaultComponents() }
+
+// DistributeBudget runs the paper's greedy marginal-cost heuristic
+// (Eq. 7.3) to pick one frequency per component under the power budget.
+func DistributeBudget(comps []BudgetComponent, pBudget float64) (*BudgetSolution, error) {
+	return budget.Greedy(comps, pBudget)
+}
+
+// DistributeBudgetOptimal runs the exact branch-and-bound reference solver
+// (Eq. 7.1/7.2).
+func DistributeBudgetOptimal(comps []BudgetComponent, pBudget float64) (*BudgetSolution, error) {
+	return budget.BranchAndBound(comps, pBudget)
+}
