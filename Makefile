@@ -1,0 +1,35 @@
+# Mirrors the CI pipeline (.github/workflows/ci.yml): `make ci` is what a
+# green build requires.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark with allocation stats — the same
+# trajectory snapshot the CI bench job archives.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | tee bench.txt
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint race bench
+
+clean:
+	rm -f bench.txt

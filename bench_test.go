@@ -79,6 +79,47 @@ func BenchmarkFig6_9_PowerPerfSummary(b *testing.B)          { benchArtifact(b, 
 func BenchmarkFig6_10_MultiThreaded(b *testing.B)            { benchArtifact(b, "fig6.10") }
 func BenchmarkFig7_1_BudgetDistribution(b *testing.B)        { benchArtifact(b, "fig7.1") }
 
+// BenchmarkSimCell times one full simulation cell — the unit of work the
+// campaign engine fans out — under the cheapest policy (no controller).
+// Run with -benchmem: the per-step buffers in sim.Run are preallocated and
+// reused, so allocs/op must stay flat in the step count.
+func BenchmarkSimCell(b *testing.B) {
+	ctx := benchContext(b)
+	bench, err := workload.ByName("dijkstra")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Runner.Run(sim.Options{
+			Policy: sim.PolicyNoFan, Bench: bench, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimCellDTPM is the same cell under the predictive controller,
+// covering the dtpm.Controller.Update and ThermalModel prediction hot path.
+func BenchmarkSimCellDTPM(b *testing.B) {
+	ctx := benchContext(b)
+	bench, err := workload.ByName("dijkstra")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Runner.Run(sim.Options{
+			Policy: sim.PolicyDTPM, Bench: bench, Seed: 1,
+			Model: ctx.Char.Thermal, PowerModel: ctx.Char.Power,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCharacterization times the complete Chapter 4 modeling flow
 // (furnace sweeps + four PRBS identification experiments) from scratch.
 func BenchmarkCharacterization(b *testing.B) {

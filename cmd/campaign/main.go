@@ -1,0 +1,180 @@
+// Command campaign runs an arbitrary simulation sweep — the cartesian
+// product of {policy × benchmark × governor × seed × tmax} — across a
+// worker pool, and exports the aggregated per-cell metrics.
+//
+// Results are deterministic at any parallelism level: the same grid and
+// -seed produce byte-identical -json/-csv files whether -workers is 1 or 64.
+//
+// Usage:
+//
+//	campaign -list
+//	campaign -benches dijkstra,patricia -policies with-fan,dtpm -seeds 1,2
+//	campaign -benches all -policies dtpm -tmax 58,63,68 -workers 8 \
+//	         -json sweep.json -csv sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/governor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		policies  = flag.String("policies", "dtpm", "comma-separated policies (with-fan,without-fan,reactive,dtpm)")
+		benches   = flag.String("benches", "templerun", `comma-separated benchmark names, or "all"`)
+		governors = flag.String("governors", "", "comma-separated cpufreq governors (empty = ondemand)")
+		seeds     = flag.String("seeds", "1", "comma-separated replicate seeds")
+		tmax      = flag.String("tmax", "", "comma-separated thermal constraints in C (empty = paper's 63)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		baseSeed  = flag.Int64("seed", 1, "campaign base seed (characterization + per-cell derivation)")
+		jsonOut   = flag.String("json", "", "write the full report as JSON to this file")
+		csvOut    = flag.String("csv", "", "write one CSV row per cell to this file")
+		quiet     = flag.Bool("quiet", false, "suppress per-cell progress on stderr")
+		list      = flag.Bool("list", false, "list benchmarks and policies, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(workload.Names(), ", "))
+		var pols []string
+		for _, p := range sim.Policies() {
+			pols = append(pols, p.String())
+		}
+		fmt.Println("policies:  ", strings.Join(pols, ", "))
+		return
+	}
+
+	grid, err := buildGrid(*policies, *benches, *governors, *seeds, *tmax)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The DTPM policy (and prediction-accuracy accounting) needs the
+	// Chapter 4 characterization; run it once up front.
+	fmt.Fprintln(os.Stderr, "campaign: characterizing device (furnace + PRBS system identification)...")
+	runner := sim.NewRunner()
+	models, err := runner.Characterize(*baseSeed)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := &campaign.Engine{
+		Workers:  *workers,
+		Runner:   runner,
+		Models:   models,
+		BaseSeed: *baseSeed,
+	}
+	if !*quiet {
+		eng.OnCellDone = func(done, total int, r campaign.CellResult) {
+			status := "ok"
+			if r.Err != "" {
+				status = "FAILED: " + r.Err
+			}
+			fmt.Fprintf(os.Stderr, "campaign: [%d/%d] %s %s\n", done, total, r.Cell, status)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "campaign: running %d cells\n", grid.Size())
+	rep, err := eng.Run(grid)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(rep.Summary())
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvOut != "" {
+		if err := writeFile(*csvOut, rep.WriteCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if len(rep.Failures()) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(2)
+}
+
+// buildGrid parses the axis flags into a campaign grid.
+func buildGrid(policies, benches, governors, seeds, tmax string) (campaign.Grid, error) {
+	var g campaign.Grid
+	for _, name := range splitList(policies) {
+		p, err := sim.ParsePolicy(name)
+		if err != nil {
+			return g, err
+		}
+		g.Policies = append(g.Policies, p)
+	}
+	if benches == "all" {
+		g.Benchmarks = workload.Names()
+	} else {
+		for _, name := range splitList(benches) {
+			if _, err := workload.ByName(name); err != nil {
+				return g, err
+			}
+			g.Benchmarks = append(g.Benchmarks, name)
+		}
+	}
+	// Validate governor names up front like benchmarks: a typo should fail
+	// in milliseconds, not after the expensive characterization as a wall
+	// of identical per-cell errors.
+	for _, name := range splitList(governors) {
+		if _, err := governor.ByName(name); err != nil {
+			return g, err
+		}
+		g.Governors = append(g.Governors, name)
+	}
+	for _, s := range splitList(seeds) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return g, fmt.Errorf("bad seed %q: %w", s, err)
+		}
+		g.Seeds = append(g.Seeds, v)
+	}
+	for _, s := range splitList(tmax) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return g, fmt.Errorf("bad tmax %q: %w", s, err)
+		}
+		g.TMax = append(g.TMax, v)
+	}
+	return g, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -18,10 +18,11 @@ import (
 
 func main() {
 	var (
-		id   = flag.String("id", "", "experiment id (e.g. fig6.9, tab6.4)")
-		all  = flag.Bool("all", false, "run every experiment")
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		seed = flag.Int64("seed", 1, "seed for all stochastic parts")
+		id      = flag.String("id", "", "experiment id (e.g. fig6.9, tab6.4)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Int64("seed", 1, "seed for all stochastic parts")
+		workers = flag.Int("workers", 0, "benchmark-run worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx.SetWorkers(*workers)
 
 	run := func(e experiments.Experiment) {
 		rep, err := e.Run(ctx)

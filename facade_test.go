@@ -48,6 +48,36 @@ func TestModelsPredictTemperature(t *testing.T) {
 	}
 }
 
+func TestRunCampaignFacade(t *testing.T) {
+	dev := NewDevice()
+	grid := CampaignGrid{
+		Policies:   []Policy{WithoutFan, Reactive},
+		Benchmarks: []string{"dijkstra"},
+		Seeds:      []int64{1, 2},
+	}
+	rep, err := dev.RunCampaign(grid, nil, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Err != "" || c.Metrics == nil {
+			t.Errorf("cell %v failed: %s", c.Cell, c.Err)
+		}
+	}
+	// DTPM without models must be collected as a cell failure, not abort.
+	grid.Policies = []Policy{DTPM}
+	rep, err = dev.RunCampaign(grid, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) != len(rep.Cells) {
+		t.Errorf("DTPM cells without models should all fail, got %d/%d", len(rep.Failures()), len(rep.Cells))
+	}
+}
+
 func TestRunWithCustomTMax(t *testing.T) {
 	dev := NewDevice()
 	res, err := dev.Run(RunSpec{

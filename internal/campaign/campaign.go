@@ -1,0 +1,369 @@
+// Package campaign is the concurrent simulation-campaign engine: it fans a
+// declarative grid of {policy × benchmark × governor × seed} cells out
+// across a worker pool, runs each cell through sim.Run, and aggregates the
+// fixed-size per-cell metrics in bounded memory (no traces are retained).
+//
+// Determinism is the core contract: every cell derives its own RNG seed
+// from the campaign base seed and the cell's coordinates alone, and sim.Run
+// never shares mutable state between runs, so a campaign produces
+// bit-identical results at any parallelism level — 1 worker, 8 workers, or
+// one worker per cell. Cell failures are collected in the report instead of
+// aborting the sweep.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Grid declares a campaign as the cartesian product of its axes. Axes left
+// empty are treated as a single default entry (the paper's configuration),
+// so the zero value of an axis never silently empties the whole grid.
+type Grid struct {
+	// Policies are the management configurations to sweep.
+	Policies []sim.Policy `json:"policies"`
+	// Benchmarks are workload names resolved through workload.ByName.
+	Benchmarks []string `json:"benchmarks"`
+	// Governors are default-governor names ("" = ondemand).
+	Governors []string `json:"governors"`
+	// Seeds are replicate seeds; each is mixed with the cell coordinates
+	// (see DeriveSeed) to decorrelate the noise streams across cells.
+	Seeds []int64 `json:"seeds"`
+	// TMax are thermal constraints in °C (0 = the paper's 63 °C).
+	TMax []float64 `json:"tmax"`
+}
+
+// normalizedCell resolves defaulted coordinates to their explicit values
+// ("" governor = ondemand, 0 TMax = the paper's 63 °C) so that physically
+// identical cells derive identical seeds and exports record the
+// configuration the simulation actually enforced.
+func normalizedCell(c Cell) Cell {
+	if c.Governor == "" {
+		c.Governor = "ondemand"
+	}
+	if c.TMax == 0 {
+		c.TMax = 63
+	}
+	return c
+}
+
+// normalized returns the grid with every empty axis replaced by its single
+// default entry.
+func (g Grid) normalized() Grid {
+	if len(g.Policies) == 0 {
+		g.Policies = []sim.Policy{sim.PolicyDTPM}
+	}
+	if len(g.Benchmarks) == 0 {
+		g.Benchmarks = []string{"templerun"}
+	}
+	if len(g.Governors) == 0 {
+		g.Governors = []string{""}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{1}
+	}
+	if len(g.TMax) == 0 {
+		g.TMax = []float64{0}
+	}
+	return g
+}
+
+// Size returns the number of cells in the grid.
+func (g Grid) Size() int {
+	g = g.normalized()
+	return len(g.Policies) * len(g.Benchmarks) * len(g.Governors) * len(g.Seeds) * len(g.TMax)
+}
+
+// Cells expands the grid into its cells in a deterministic row-major order
+// (policy outermost, TMax innermost). Cell.Index is the position in this
+// order and identifies the cell across exports. Every cell is normalized:
+// a grid declaring governor "" or TMax 0 produces exactly the cells (and
+// derived seeds) of one declaring "ondemand" / 63.
+func (g Grid) Cells() []Cell {
+	g = g.normalized()
+	cells := make([]Cell, 0, g.Size())
+	for _, pol := range g.Policies {
+		for _, bench := range g.Benchmarks {
+			for _, gov := range g.Governors {
+				for _, seed := range g.Seeds {
+					for _, tmax := range g.TMax {
+						c := normalizedCell(Cell{
+							Index:     len(cells),
+							Policy:    pol,
+							Benchmark: bench,
+							Governor:  gov,
+							Seed:      seed,
+							TMax:      tmax,
+						})
+						cells = append(cells, c)
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Cell is one point of the grid.
+type Cell struct {
+	Index     int        `json:"index"`
+	Policy    sim.Policy `json:"policy"`
+	Benchmark string     `json:"benchmark"`
+	Governor  string     `json:"governor"`
+	Seed      int64      `json:"seed"`
+	TMax      float64    `json:"tmax"`
+}
+
+// String renders the cell coordinates compactly.
+func (c Cell) String() string {
+	c = normalizedCell(c)
+	return fmt.Sprintf("%s/%s/%s/seed%d/tmax%g", c.Policy, c.Benchmark, c.Governor, c.Seed, c.TMax)
+}
+
+// DeriveSeed maps the campaign base seed and a cell to the seed its
+// simulation runs with. The mix is a splitmix64-style finalizer over the
+// base seed, the cell's replicate seed, and an FNV-1a hash of the cell's
+// normalized categorical coordinates: the derived stream depends only on
+// the physical configuration the cell runs — never on worker count,
+// execution order, or whether a default was spelled out — and two cells
+// never share a noise stream just because they share a replicate seed.
+func DeriveSeed(base int64, c Cell) int64 {
+	c = normalizedCell(c)
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime
+		}
+		h ^= 0xff // field separator
+		h *= fnvPrime
+	}
+	mix(c.Policy.String())
+	mix(c.Benchmark)
+	mix(c.Governor)
+	mix(fmt.Sprintf("%g", c.TMax))
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(c.Seed+1) + h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Keep the sign bit clear so the derived seed is stable across int64
+	// formatting conventions in exports.
+	return int64(z &^ (1 << 63))
+}
+
+// Metrics is the fixed-size aggregate the engine keeps per cell — the
+// sim.Result scalars without the trace recorder, so a campaign's memory is
+// bounded by the cell count regardless of how long each simulation runs.
+type Metrics struct {
+	Completed   bool    `json:"completed"`
+	ExecTime    float64 `json:"exec_s"`
+	AvgPower    float64 `json:"avg_power_w"`
+	Energy      float64 `json:"energy_j"`
+	MaxTemp     float64 `json:"max_temp_c"`
+	AvgTemp     float64 `json:"avg_temp_c"`
+	TempVar     float64 `json:"temp_var"`
+	Spread      float64 `json:"spread_c"`
+	OverTMax    float64 `json:"over_tmax_s"`
+	SSAvgTemp   float64 `json:"ss_avg_temp_c"`
+	SSTempVar   float64 `json:"ss_temp_var"`
+	SSSpread    float64 `json:"ss_spread_c"`
+	PredMeanPct float64 `json:"pred_mean_pct"`
+	PredMaxPct  float64 `json:"pred_max_pct"`
+	PredMaxAbsC float64 `json:"pred_max_abs_c"`
+}
+
+func newMetrics(r *sim.Result) *Metrics {
+	return &Metrics{
+		Completed: r.Completed, ExecTime: r.ExecTime,
+		AvgPower: r.AvgPower, Energy: r.Energy,
+		MaxTemp: r.MaxTemp, AvgTemp: r.AvgTemp, TempVar: r.TempVar,
+		Spread: r.Spread, OverTMax: r.OverTMax,
+		SSAvgTemp: r.SSAvgTemp, SSTempVar: r.SSTempVar, SSSpread: r.SSSpread,
+		PredMeanPct: r.PredMeanPct, PredMaxPct: r.PredMaxPct,
+		PredMaxAbsC: r.PredMaxAbsC,
+	}
+}
+
+// CellResult is the outcome of one cell: metrics on success, a collected
+// error string on failure. Exactly one of Metrics/Err is set.
+type CellResult struct {
+	Cell    Cell     `json:"cell"`
+	Metrics *Metrics `json:"metrics,omitempty"`
+	Err     string   `json:"error,omitempty"`
+}
+
+// Report is a completed campaign in cell-index order. It contains only
+// cell-determined data (no wall-clock times, no worker counts), so two runs
+// of the same grid at different parallelism export byte-identical files.
+type Report struct {
+	BaseSeed int64        `json:"base_seed"`
+	Cells    []CellResult `json:"cells"`
+}
+
+// Failures returns the failed cells.
+func (r *Report) Failures() []CellResult {
+	var out []CellResult
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Engine runs campaigns over a worker pool.
+type Engine struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Runner is the simulated device (nil = sim.NewRunner()).
+	Runner *sim.Runner
+	// Models supplies the identified thermal and fitted power models. DTPM
+	// cells require it; other policies use it for prediction-accuracy
+	// accounting when present.
+	Models *sim.Characterization
+	// BaseSeed is mixed into every cell's derived seed.
+	BaseSeed int64
+	// OnCellDone, when set, is invoked serially (never concurrently) after
+	// each cell of a Run completes, with the number done so far and the
+	// grid size.
+	OnCellDone func(done, total int, r CellResult)
+
+	mu    sync.Mutex // guards done/total for OnCellDone
+	done  int
+	total int
+}
+
+// Run executes every cell of the grid and returns the report. Individual
+// cell failures (unknown benchmark, bad governor, missing models, panics)
+// are recorded in the report; Run itself only fails on an empty grid.
+func (e *Engine) Run(grid Grid) (*Report, error) {
+	cells := grid.Cells()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("campaign: empty grid")
+	}
+	if e.Runner == nil {
+		e.Runner = sim.NewRunner()
+	}
+	e.mu.Lock()
+	e.done, e.total = 0, len(cells)
+	e.mu.Unlock()
+	results := make([]CellResult, len(cells))
+	e.forEach(len(cells), func(i int) {
+		results[i] = e.runCell(cells[i])
+	})
+	return &Report{BaseSeed: e.BaseSeed, Cells: results}, nil
+}
+
+// RunAll is the lower-level primitive the experiments package drives: it
+// executes arbitrary pre-built sim.Options concurrently on the pool and
+// returns results in input order. Unlike Run it performs no seed derivation
+// and keeps full results (including traces when opts[i].Record is set) —
+// the caller owns the memory consequences.
+func (e *Engine) RunAll(opts []sim.Options) ([]*sim.Result, []error) {
+	if e.Runner == nil {
+		e.Runner = sim.NewRunner()
+	}
+	results := make([]*sim.Result, len(opts))
+	errs := make([]error, len(opts))
+	e.forEach(len(opts), func(i int) {
+		results[i], errs[i] = runSafely(e.Runner, opts[i])
+	})
+	return results, errs
+}
+
+// forEach runs fn(0..n-1) on the worker pool and blocks until all are done.
+func (e *Engine) forEach(n int, fn func(i int)) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runCell executes one cell, translating every failure mode into a
+// collected CellResult.
+func (e *Engine) runCell(c Cell) CellResult {
+	bench, err := workload.ByName(c.Benchmark)
+	if err != nil {
+		return CellResult{Cell: c, Err: err.Error()}
+	}
+	opt := sim.Options{
+		Policy:   c.Policy,
+		Bench:    bench,
+		Governor: c.Governor,
+		Seed:     DeriveSeed(e.BaseSeed, c),
+		TMax:     c.TMax,
+	}
+	if e.Models != nil {
+		opt.Model = e.Models.Thermal
+		opt.PowerModel = e.Models.Power
+	}
+	res, err := runSafely(e.Runner, opt)
+	done := CellResult{Cell: c}
+	if err != nil {
+		done.Err = err.Error()
+	} else {
+		done.Metrics = newMetrics(res)
+	}
+	e.notify(done)
+	return done
+}
+
+func (e *Engine) notify(r CellResult) {
+	if e.OnCellDone == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.done++
+	e.OnCellDone(e.done, e.total, r)
+}
+
+// runSafely runs one simulation and converts panics into errors, so a
+// pathological cell cannot take the whole sweep down.
+func runSafely(r *sim.Runner, opt sim.Options) (res *sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("campaign: cell panicked: %v", p)
+		}
+	}()
+	return r.Run(opt)
+}

@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON exports the report as indented JSON. The encoding contains only
+// cell-determined fields, so the bytes are identical for the same grid and
+// base seed at any worker count (the determinism tests compare exactly
+// these bytes).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader is the column order of WriteCSV.
+var csvHeader = []string{
+	"index", "policy", "benchmark", "governor", "seed", "tmax",
+	"error", "completed", "exec_s", "avg_power_w", "energy_j",
+	"max_temp_c", "avg_temp_c", "temp_var", "spread_c", "over_tmax_s",
+	"ss_avg_temp_c", "ss_temp_var", "ss_spread_c",
+	"pred_mean_pct", "pred_max_pct", "pred_max_abs_c",
+}
+
+// WriteCSV exports one row per cell. Floats use the shortest exact
+// representation ('g', -1), so the file round-trips losslessly and is
+// byte-comparable across runs.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range r.Cells {
+		row := []string{
+			strconv.Itoa(c.Cell.Index),
+			c.Cell.Policy.String(),
+			c.Cell.Benchmark,
+			c.Cell.Governor,
+			strconv.FormatInt(c.Cell.Seed, 10),
+			g(c.Cell.TMax),
+			c.Err,
+		}
+		if c.Metrics != nil {
+			m := c.Metrics
+			row = append(row,
+				strconv.FormatBool(m.Completed),
+				g(m.ExecTime), g(m.AvgPower), g(m.Energy),
+				g(m.MaxTemp), g(m.AvgTemp), g(m.TempVar), g(m.Spread), g(m.OverTMax),
+				g(m.SSAvgTemp), g(m.SSTempVar), g(m.SSSpread),
+				g(m.PredMeanPct), g(m.PredMaxPct), g(m.PredMaxAbsC),
+			)
+		} else {
+			for len(row) < len(csvHeader) {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary renders a compact per-cell table for terminal output.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-12s %-12s %-10s %6s %6s  %8s %8s %8s %8s\n",
+		"idx", "policy", "benchmark", "governor", "seed", "tmax",
+		"exec_s", "power_w", "maxT_C", "over_s")
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			fmt.Fprintf(&b, "%-4d %-12s %-12s %-10s %6d %6g  FAILED: %s\n",
+				c.Cell.Index, c.Cell.Policy, c.Cell.Benchmark, c.Cell.Governor,
+				c.Cell.Seed, c.Cell.TMax, c.Err)
+			continue
+		}
+		m := c.Metrics
+		fmt.Fprintf(&b, "%-4d %-12s %-12s %-10s %6d %6g  %8.1f %8.2f %8.1f %8.1f\n",
+			c.Cell.Index, c.Cell.Policy, c.Cell.Benchmark, c.Cell.Governor,
+			c.Cell.Seed, c.Cell.TMax,
+			m.ExecTime, m.AvgPower, m.MaxTemp, m.OverTMax)
+	}
+	if fails := r.Failures(); len(fails) > 0 {
+		fmt.Fprintf(&b, "%d/%d cells failed\n", len(fails), len(r.Cells))
+	}
+	return b.String()
+}

@@ -152,6 +152,14 @@ type Controller struct {
 	limits     Limits
 	safeCount  int
 	unmetCount int
+
+	// Per-interval scratch buffers: Update runs every 100 ms kernel tick
+	// in every simulation cell, so the prediction vectors are preallocated
+	// here and reused instead of being rebuilt each call. A Controller is
+	// consequently not safe for concurrent use — each simulation cell owns
+	// its own (sim.Run builds one per run).
+	pvec [sysid.NumInputs]float64
+	pred [sysid.NumStates]float64
 }
 
 // NewController builds a controller from the identified thermal model and
@@ -222,7 +230,8 @@ func maxAt(v []float64) (float64, int) {
 // configuration to predict the power consumption before taking any
 // action").
 func (c *Controller) predictedPowers(chip *platform.Chip, in Inputs, f platform.KHz) []float64 {
-	p := []float64{in.Powers[0], in.Powers[1], in.Powers[2], in.Powers[3]}
+	p := c.pvec[:]
+	copy(p, in.Powers[:])
 	if chip.ActiveKind() == platform.BigCluster {
 		v, err := chip.BigCluster.Domain.VoltAt(f)
 		if err == nil {
@@ -252,7 +261,7 @@ func (c *Controller) Update(chip *platform.Chip, in Inputs) Decision {
 	// asymmetry margin compensating the aggregate power attribution.
 	intended := in.GovernorFreq
 	pvec := c.predictedPowers(chip, in, intended)
-	pred := c.Model.PredictConst(in.Temps[:], pvec, c.Cfg.HorizonIntervals)
+	pred := c.Model.PredictConstInto(c.pred[:], in.Temps[:], pvec, c.Cfg.HorizonIntervals)
 	dec.PredictedMax, dec.HottestCore = maxAt(pred)
 	dec.PredictedMax += c.asymMargin(in.Temps[:])
 

@@ -29,6 +29,9 @@ func runTab6_4(*Context) (*Report, error) {
 func runFig6_2(c *Context) (*Report, error) {
 	rep := &Report{ID: "fig6.2", Title: "Temperature prediction error for all benchmarks (1 s horizon)"}
 	t := Table{Columns: []string{"benchmark", "mean error", "max error", "max abs (C)"}}
+	if err := c.prefetch(workload.Names(), []sim.Policy{sim.PolicyNoFan}); err != nil {
+		return nil, err
+	}
 	var worstMean, worstMax float64
 	var sumMean float64
 	n := 0
@@ -61,8 +64,9 @@ func runFig6_2(c *Context) (*Report, error) {
 func tempControl(c *Context, id, bench string) (*Report, error) {
 	rep := &Report{ID: id, Title: "Temperature control for " + bench}
 	t := Table{Columns: []string{"config", "max (C)", "avg (C)", "time > 63C (s)", "exec (s)"}}
-	var seriesList []interface{}
-	_ = seriesList
+	if err := c.prefetch([]string{bench}, []sim.Policy{sim.PolicyNoFan, sim.PolicyFan, sim.PolicyDTPM}); err != nil {
+		return nil, err
+	}
 	var charts []string
 	for _, pol := range []sim.Policy{sim.PolicyNoFan, sim.PolicyFan, sim.PolicyDTPM} {
 		res, err := c.runByName(bench, pol)
@@ -96,6 +100,10 @@ func runFig6_5(c *Context) (*Report, error) {
 		Columns: []string{"config", "templerun", "basicmath"}}
 	variance := Table{Name: "Steady-state temperature variance (C^2)",
 		Columns: []string{"config", "templerun", "basicmath"}}
+	if err := c.prefetch([]string{"templerun", "basicmath"},
+		[]sim.Policy{sim.PolicyNoFan, sim.PolicyFan, sim.PolicyDTPM}); err != nil {
+		return nil, err
+	}
 	results := map[sim.Policy]map[string]*sim.Result{}
 	for _, pol := range []sim.Policy{sim.PolicyNoFan, sim.PolicyFan, sim.PolicyDTPM} {
 		results[pol] = map[string]*sim.Result{}
@@ -128,6 +136,9 @@ func runFig6_5(c *Context) (*Report, error) {
 func freqTempTrace(c *Context, id, bench string) (*Report, error) {
 	rep := &Report{ID: id, Title: "Frequency and temperature for " + bench}
 	t := Table{Columns: []string{"config", "exec (s)", "avg power (W)", "max (C)", "avg freq (GHz)"}}
+	if err := c.prefetch([]string{bench}, []sim.Policy{sim.PolicyFan, sim.PolicyDTPM}); err != nil {
+		return nil, err
+	}
 	for _, pol := range []sim.Policy{sim.PolicyFan, sim.PolicyDTPM} {
 		res, err := c.runByName(bench, pol)
 		if err != nil {
@@ -204,14 +215,23 @@ func savingsRow(c *Context, b workload.Benchmark) (saving, loss float64, err err
 func runFig6_9(c *Context) (*Report, error) {
 	rep := &Report{ID: "fig6.9", Title: "Power savings and performance loss summary"}
 	t := Table{Columns: []string{"benchmark", "class", "power saving", "perf loss"}}
+	// The multi-threaded pair is reported separately in Figure 6.10; one
+	// filtered list drives both the prefetch and the row loop.
+	var singleThreaded []workload.Benchmark
+	for _, b := range workload.Table() {
+		if b.Name == "lu" || b.Name == "fft" {
+			continue
+		}
+		singleThreaded = append(singleThreaded, b)
+	}
+	if err := c.prefetchBenches(singleThreaded, []sim.Policy{sim.PolicyFan, sim.PolicyDTPM}); err != nil {
+		return nil, err
+	}
 	classSum := map[string]float64{}
 	classN := map[string]float64{}
 	var lossSum float64
 	n := 0
-	for _, b := range workload.Table() {
-		if b.Name == "lu" || b.Name == "fft" {
-			continue // multi-threaded pair reported in Figure 6.10
-		}
+	for _, b := range singleThreaded {
 		saving, loss, err := savingsRow(c, b)
 		if err != nil {
 			return nil, err
@@ -245,6 +265,9 @@ func runFig6_9(c *Context) (*Report, error) {
 func runFig6_10(c *Context) (*Report, error) {
 	rep := &Report{ID: "fig6.10", Title: "Power savings and performance loss, multi-threaded benchmarks"}
 	t := Table{Columns: []string{"benchmark", "power saving", "perf loss"}}
+	if err := c.prefetch([]string{"fft", "lu"}, []sim.Policy{sim.PolicyFan, sim.PolicyDTPM}); err != nil {
+		return nil, err
+	}
 	for _, name := range []string{"fft", "lu"} {
 		b, err := workload.ByName(name)
 		if err != nil {

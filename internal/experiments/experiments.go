@@ -13,7 +13,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -100,12 +102,18 @@ type Experiment struct {
 
 // Context carries the simulated device, the §4 characterization, and a
 // result cache shared by the experiments (several figures reuse the same
-// benchmark runs).
+// benchmark runs). Runs are executed on a campaign.Engine worker pool:
+// experiments that consume whole {benchmark × policy} grids prefetch their
+// cells concurrently. Because sim.Run isolates all mutable state per run,
+// the prefetched results are identical to the sequential ones.
 type Context struct {
 	Runner *sim.Runner
 	Char   *sim.Characterization
 	Seed   int64
 
+	engine *campaign.Engine
+
+	mu    sync.Mutex
 	cache map[string]*sim.Result
 }
 
@@ -117,25 +125,100 @@ func NewContext(seed int64) (*Context, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: characterization failed: %w", err)
 	}
-	return &Context{Runner: r, Char: ch, Seed: seed, cache: map[string]*sim.Result{}}, nil
+	return &Context{
+		Runner: r, Char: ch, Seed: seed,
+		engine: &campaign.Engine{Runner: r, Models: ch, BaseSeed: seed},
+		cache:  map[string]*sim.Result{},
+	}, nil
+}
+
+// SetWorkers bounds the worker pool used for prefetching benchmark runs
+// (<= 0 means GOMAXPROCS).
+func (c *Context) SetWorkers(n int) { c.engine.Workers = n }
+
+func runKey(bench string, pol sim.Policy) string {
+	return fmt.Sprintf("%s/%v", bench, pol)
+}
+
+// options builds the canonical cached-run options for one cell.
+func (c *Context) options(bench workload.Benchmark, pol sim.Policy) sim.Options {
+	return sim.Options{
+		Policy: pol, Bench: bench, Seed: c.Seed + 5,
+		Model: c.Char.Thermal, PowerModel: c.Char.Power,
+		Record: true,
+	}
+}
+
+// prefetch warms the run cache for the cross product of the given benchmark
+// names and policies, executing the uncached cells concurrently on the
+// campaign engine.
+func (c *Context) prefetch(benches []string, pols []sim.Policy) error {
+	bs := make([]workload.Benchmark, len(benches))
+	for i, name := range benches {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		bs[i] = b
+	}
+	return c.prefetchBenches(bs, pols)
+}
+
+// prefetchBenches is prefetch for explicit Benchmark values (the synthetic
+// stress workloads are not in the workload table).
+func (c *Context) prefetchBenches(benches []workload.Benchmark, pols []sim.Policy) error {
+	type cell struct {
+		key  string
+		opts sim.Options
+	}
+	var missing []cell
+	c.mu.Lock()
+	for _, b := range benches {
+		for _, pol := range pols {
+			key := runKey(b.Name, pol)
+			if _, ok := c.cache[key]; ok {
+				continue
+			}
+			missing = append(missing, cell{key, c.options(b, pol)})
+		}
+	}
+	c.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	opts := make([]sim.Options, len(missing))
+	for i, m := range missing {
+		opts[i] = m.opts
+	}
+	results, errs := c.engine.RunAll(opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, m := range missing {
+		if errs[i] != nil {
+			return fmt.Errorf("experiments: %s: %w", m.key, errs[i])
+		}
+		c.cache[m.key] = results[i]
+	}
+	return nil
 }
 
 // runBench executes (and caches) one benchmark under one policy with full
 // trace recording.
 func (c *Context) runBench(bench workload.Benchmark, pol sim.Policy) (*sim.Result, error) {
-	key := fmt.Sprintf("%s/%v", bench.Name, pol)
+	key := runKey(bench.Name, pol)
+	c.mu.Lock()
 	if res, ok := c.cache[key]; ok {
+		c.mu.Unlock()
 		return res, nil
 	}
-	res, err := c.Runner.Run(sim.Options{
-		Policy: pol, Bench: bench, Seed: c.Seed + 5,
-		Model: c.Char.Thermal, PowerModel: c.Char.Power,
-		Record: true,
-	})
+	c.mu.Unlock()
+	res, err := c.Runner.Run(c.options(bench, pol))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s under %v: %w", bench.Name, pol, err)
 	}
+	c.mu.Lock()
 	c.cache[key] = res
+	c.mu.Unlock()
 	return res, nil
 }
 

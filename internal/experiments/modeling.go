@@ -32,6 +32,10 @@ func runFig1_1(c *Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := c.prefetchBenches([]workload.Benchmark{b},
+		[]sim.Policy{sim.PolicyFan, sim.PolicyNoFan}); err != nil {
+		return nil, err
+	}
 	fan, err := c.runBench(b, sim.PolicyFan)
 	if err != nil {
 		return nil, err

@@ -52,6 +52,12 @@ func (t *Task) Foreground() bool { return !math.IsInf(t.WorkLeft, 1) }
 type Sched struct {
 	tasks []*Task
 	now   float64
+
+	// Reusable per-tick buffers: Tick and rebalance run every 100 ms
+	// control interval, so the task groupings are kept across calls
+	// (truncated, never freed) instead of reallocated each tick.
+	perCore   [platform.CoresPerCluster][]*Task
+	displaced []*Task
 }
 
 // NewSched returns an empty scheduler.
@@ -115,7 +121,7 @@ type TickResult struct {
 // mirroring the kernel load balancer.
 func (s *Sched) rebalance(cluster *platform.Cluster) {
 	load := [platform.CoresPerCluster]float64{}
-	var displaced []*Task
+	displaced := s.displaced[:0]
 	for _, t := range s.tasks {
 		if t.Done {
 			continue
@@ -126,10 +132,15 @@ func (s *Sched) rebalance(cluster *platform.Cluster) {
 			displaced = append(displaced, t)
 		}
 	}
+	s.displaced = displaced // keep the (possibly regrown) buffer for reuse
 	// Deterministic order: heaviest demand first onto least-loaded cores.
-	sort.SliceStable(displaced, func(i, j int) bool {
-		return displaced[i].Demand(s.now) > displaced[j].Demand(s.now)
-	})
+	// (Guarded: the reflection-based sort allocates even for an empty
+	// slice, and on a steady-state tick nothing is displaced.)
+	if len(displaced) > 1 {
+		sort.SliceStable(displaced, func(i, j int) bool {
+			return displaced[i].Demand(s.now) > displaced[j].Demand(s.now)
+		})
+	}
 	for _, t := range displaced {
 		best, bestLoad := -1, math.Inf(1)
 		for c := 0; c < platform.CoresPerCluster; c++ {
@@ -173,8 +184,11 @@ func (s *Sched) Tick(dt float64, cluster *platform.Cluster) TickResult {
 	s.rebalance(cluster)
 	rho := cluster.Freq().Hz() * cluster.IPC / workload.RefCapacity // speed ratio
 
-	// Group runnable tasks per core.
-	var perCore [platform.CoresPerCluster][]*Task
+	// Group runnable tasks per core (reusing the per-core buffers).
+	perCore := &s.perCore
+	for c := range perCore {
+		perCore[c] = perCore[c][:0]
+	}
 	for _, t := range s.tasks {
 		if t.Done {
 			continue

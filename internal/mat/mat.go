@@ -178,6 +178,25 @@ func (m *Mat) MulVec(v []float64) []float64 {
 	return out
 }
 
+// MulVecInto computes the matrix-vector product m*v into dst and returns
+// dst. It performs no allocation; dst must have length m.Rows and must not
+// alias v. The accumulation order matches MulVec exactly, so results are
+// bit-identical to the allocating form.
+func (m *Mat) MulVecInto(dst, v []float64) []float64 {
+	if m.Cols != len(v) || m.Rows != len(dst) {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
 // Pow returns m^n for square m and n >= 0 using binary exponentiation.
 func (m *Mat) Pow(n int) *Mat {
 	if m.Rows != m.Cols {

@@ -82,6 +82,21 @@ func NewModel(leak [platform.NumResources]LeakageParams) *Model {
 	return m
 }
 
+// Clone returns an independent copy of the model: the fitted leakage
+// parameters and the current alphaC estimates are carried over, but further
+// Observe calls on the clone never touch the original (and vice versa).
+// sim.Run hands each DTPM controller a clone, so concurrent simulation
+// cells can share one fitted model without racing on the estimators, and a
+// run's outcome does not depend on which runs preceded it.
+func (m *Model) Clone() *Model {
+	c := &Model{Leak: m.Leak}
+	for i := range c.AlphaC {
+		est := *m.AlphaC[i]
+		c.AlphaC[i] = &est
+	}
+	return c
+}
+
 // Observe updates the alphaC estimate of resource r from a sensor reading
 // taken at temperature tC, voltage v, and frequency f.
 func (m *Model) Observe(r platform.Resource, measuredPower, tC, v float64, f platform.KHz) {

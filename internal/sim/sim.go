@@ -7,8 +7,10 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dtpm"
 	"repro/internal/governor"
@@ -37,6 +39,42 @@ const (
 	// PolicyDTPM is the paper's predictive algorithm.
 	PolicyDTPM
 )
+
+// Policies lists the four configurations in paper order.
+func Policies() []Policy {
+	return []Policy{PolicyFan, PolicyNoFan, PolicyReactive, PolicyDTPM}
+}
+
+// ParsePolicy is the inverse of Policy.String.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown policy %q (known: with-fan, without-fan, reactive, dtpm)", name)
+}
+
+// MarshalJSON encodes the policy as its stable name rather than the enum
+// integer, so exported reports stay comparable across versions even if the
+// const block is ever reordered.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts the names MarshalJSON produces.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParsePolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
 
 func (p Policy) String() string {
 	switch p {
@@ -120,10 +158,20 @@ type Result struct {
 }
 
 // Runner holds the simulated device shared across runs.
+//
+// A Runner is safe for concurrent use: Run builds all mutable state (chip,
+// thermal integrator, sensors, scheduler, controller) per call, the ground
+// truth and parameter fields are read-only, and the models passed through
+// Options are either read-only (Options.Model, whose lazy gains cache is
+// internally locked) or cloned before use (Options.PowerModel). The
+// campaign engine relies on this to fan cells out across a worker pool.
 type Runner struct {
 	GT      *power.GroundTruth
 	Thermal thermal.Params
 	Sensors sensor.Config
+
+	idleOnce  sync.Once
+	idleState thermal.State
 }
 
 // NewRunner returns the default device.
@@ -147,8 +195,14 @@ func (r *Runner) groundTruthPowerModel() *power.Model {
 
 // IdleState returns the warm-start state: the device idling (background
 // load only) long enough for the board to settle, like a phone sitting
-// before a benchmark is launched.
+// before a benchmark is launched. The fixed point depends only on the
+// runner's parameters, so it is computed once and cached across runs.
 func (r *Runner) IdleState() thermal.State {
+	r.idleOnce.Do(func() { r.idleState = r.computeIdleState() })
+	return r.idleState
+}
+
+func (r *Runner) computeIdleState() thermal.State {
 	chip := platform.NewChip()
 	if err := chip.Active().SetFreq(chip.Active().Domain.MinFreq()); err != nil {
 		panic(err)
@@ -202,6 +256,12 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		pm := opt.PowerModel
 		if pm == nil {
 			pm = r.groundTruthPowerModel()
+		} else {
+			// The controller observes into its power model every interval;
+			// clone so a shared fitted model is never mutated. This keeps
+			// each run independent of what ran before it (and makes
+			// concurrent cells race-free).
+			pm = pm.Clone()
 		}
 		cfg := dtpm.DefaultConfig()
 		if opt.DTPM != nil {
@@ -247,22 +307,30 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 	if horizon <= 0 {
 		horizon = 10 // 1 s at 100 ms
 	}
+	// Allocation-reuse invariant: everything the per-step loop touches is
+	// either a fixed-size value or preallocated here at full capacity, so
+	// the hot loop itself performs no heap allocation (BenchmarkSimCell*
+	// in the repo root tracks this with -benchmem). Keep it that way when
+	// adding per-step state.
+	steps := int(opt.MaxDuration/dt) + 1
 	var (
-		prevUtil      [4]float64
-		prevGPUUtil   float64
-		prevPowers    [platform.NumResources]float64
-		maxTempSeries []float64
-		energy        float64
-		// prediction accounting ring
-		predRing [][]float64
+		prevUtil    [4]float64
+		prevGPUUtil float64
+		prevPowers  [platform.NumResources]float64
+		energy      float64
 	)
+	maxTempSeries := make([]float64, 0, steps)
+	// prediction accounting ring: one fixed-size entry per step
+	var predRing [][sysid.NumStates]float64
+	if opt.Model != nil {
+		predRing = make([][sysid.NumStates]float64, 0, steps)
+	}
 	// Initialize the power observation with an idle reading.
 	idleAct := power.ChipActivity{CoreUtil: prevUtil, CPUActivity: 1}
 	b0 := r.GT.Evaluate(chip, idleAct, tsim.State().Core, tsim.State().Board)
 	prevPowers = b0.Domain
 
 	elapsed := 0.0
-	steps := int(opt.MaxDuration/dt) + 1
 	for k := 0; k < steps; k++ {
 		st := tsim.State()
 		sensedTemps := bank.ReadCoreTemps(st.Core)
@@ -345,12 +413,13 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		// Prediction-accuracy accounting: predict the hottest core 1 s
 		// ahead from the current sensed state under current power.
 		if opt.Model != nil {
-			pred := opt.Model.PredictConst(sensedTemps[:], sensedPowers[:], horizon)
+			var pred [sysid.NumStates]float64
+			opt.Model.PredictConstInto(pred[:], sensedTemps[:], sensedPowers[:], horizon)
 			predRing = append(predRing, pred)
 			if res.Rec != nil {
 				// Timestamp at the instant the prediction refers to, so the
 				// series overlays the measured trace (Figure 4.9).
-				res.Rec.Record("predmax_c", elapsed+float64(horizon)*dt, stats.Max(pred))
+				res.Rec.Record("predmax_c", elapsed+float64(horizon)*dt, stats.Max(pred[:]))
 			}
 		}
 
@@ -431,7 +500,7 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		var sum, worst, worstAbs float64
 		n := 0
 		for k := 0; k+horizon < len(maxTempSeries) && k < len(predRing); k++ {
-			predMax := stats.Max(predRing[k])
+			predMax := stats.Max(predRing[k][:])
 			meas := maxTempSeries[k+horizon]
 			if meas <= 0 {
 				continue

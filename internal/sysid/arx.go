@@ -3,6 +3,7 @@ package sysid
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/mat"
 )
@@ -57,12 +58,17 @@ func (d *Dataset) validate() error {
 // with T expressed RELATIVE TO AMBIENT (the affine-free form of Eq. 4.4 is
 // exact in that coordinate; see DESIGN.md §5). All public methods take and
 // return absolute °C.
+// A fitted model is safe for concurrent use by multiple goroutines: A and B
+// are never mutated after the fit, and the lazily filled HorizonGains cache
+// is guarded by an internal mutex (the campaign engine shares one model
+// across its whole worker pool).
 type ThermalModel struct {
 	A       *mat.Mat // NumStates x NumStates
 	B       *mat.Mat // NumStates x NumInputs
 	Ts      float64  // seconds
 	Ambient float64  // °C
 
+	mu    sync.Mutex          // guards gains
 	gains map[int][2]*mat.Mat // HorizonGains cache, keyed by n
 }
 
@@ -110,6 +116,35 @@ func (m *ThermalModel) PredictConst(tempC, powers []float64, n int) []float64 {
 	return m.Predict(tempC, [][]float64{powers}, n)
 }
 
+// PredictConstInto is the allocation-free form of PredictConst: it writes
+// the n-step prediction into dst (length NumStates) and returns dst. The
+// arithmetic replays Step's exact operation order — relative-to-ambient
+// conversion every step, A·dT then B·P accumulated in MulVec order — so the
+// result is bit-identical to PredictConst. This is the DTPM control loop's
+// hot path: it runs twice per 100 ms interval in every simulation cell, so
+// it must not allocate.
+func (m *ThermalModel) PredictConstInto(dst, tempC, powers []float64, n int) []float64 {
+	if len(dst) != NumStates || len(tempC) < NumStates {
+		panic("sysid: PredictConstInto dst/tempC length")
+	}
+	var cur, dt, av, bp [NumStates]float64
+	copy(cur[:], tempC[:NumStates])
+	// B·P is constant over the horizon; compute it once in MulVec order.
+	m.B.MulVecInto(bp[:], powers)
+	for k := 0; k < n; k++ {
+		for i := range dt {
+			dt[i] = cur[i] - m.Ambient
+		}
+		m.A.MulVecInto(av[:], dt[:])
+		// Matches Step: next = (A·dT + B·P), then += Ambient.
+		for i := range cur {
+			cur[i] = av[i] + bp[i] + m.Ambient
+		}
+	}
+	copy(dst, cur[:])
+	return dst
+}
+
 // HorizonGains returns the n-step form of Equation 4.5 under constant power,
 //
 //	T[k+n] = A^n T[k] + (Σ_{i=0}^{n-1} A^i B) P,
@@ -122,6 +157,8 @@ func (m *ThermalModel) HorizonGains(n int) (an, bn *mat.Mat) {
 	if n < 1 {
 		n = 1
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.gains == nil {
 		m.gains = make(map[int][2]*mat.Mat)
 	}

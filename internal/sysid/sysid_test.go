@@ -269,6 +269,32 @@ func TestThermalModelStepAndPredict(t *testing.T) {
 	}
 }
 
+// TestPredictConstIntoBitIdentical pins the hot-path contract: the
+// allocation-free prediction must produce exactly the floats of the
+// allocating form, at every horizon (the campaign determinism guarantee
+// leans on this).
+func TestPredictConstIntoBitIdentical(t *testing.T) {
+	m := synthModel()
+	temps := []float64{52.3, 49.1, 55.7, 47.2}
+	powers := []float64{3.1, 0.4, 0.9, 0.6}
+	for _, n := range []int{1, 2, 10, 50} {
+		want := m.PredictConst(temps, powers, n)
+		var got [NumStates]float64
+		m.PredictConstInto(got[:], temps, powers, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("n=%d state %d: PredictConstInto %v != PredictConst %v", n, i, got[i], want[i])
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		var out [NumStates]float64
+		m.PredictConstInto(out[:], temps, powers, 10)
+	}); allocs != 0 {
+		t.Errorf("PredictConstInto allocates %.0f times per call, want 0", allocs)
+	}
+}
+
 func TestPredictTrajectoryHolding(t *testing.T) {
 	m := synthModel()
 	temps := []float64{50, 50, 50, 50}

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/budget"
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -167,6 +168,27 @@ func (d *Device) Run(spec RunSpec) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Result: res}, nil
+}
+
+// CampaignGrid declares a simulation campaign as the cartesian product of
+// {policy × benchmark × governor × seed × tmax} axes; empty axes default to
+// the paper's configuration. See the campaign package for the semantics.
+type CampaignGrid = campaign.Grid
+
+// CampaignReport is a completed campaign: per-cell aggregate metrics (or a
+// collected error) in deterministic cell order, exportable as JSON or CSV.
+type CampaignReport = campaign.Report
+
+// RunCampaign sweeps the grid across a worker pool (workers <= 0 means
+// GOMAXPROCS). Results are bit-identical at any parallelism level: each
+// cell derives its RNG stream from baseSeed and its own coordinates alone.
+// Cell failures are collected in the report, never aborting the sweep.
+func (d *Device) RunCampaign(grid CampaignGrid, models *Models, workers int, baseSeed int64) (*CampaignReport, error) {
+	eng := &campaign.Engine{Workers: workers, Runner: d.r, BaseSeed: baseSeed}
+	if models != nil {
+		eng.Models = models.c
+	}
+	return eng.Run(grid)
 }
 
 // Compare runs the benchmark under every policy and reports each result,
