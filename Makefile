@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt ci clean
+# Fuzz budget per target for `make fuzz` (the CI smoke); raise it for a
+# real hunt, e.g. `make fuzz FUZZTIME=5m`.
+FUZZTIME ?= 10s
+
+.PHONY: all build test race bench lint fmt fuzz cover ci clean
 
 all: build
 
@@ -29,7 +33,18 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint race bench
+# Fuzz smoke: every fuzz target for FUZZTIME each (go only allows one
+# -fuzz target per invocation, hence one line per target).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTrace$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzScenarioSpec$$' -fuzztime $(FUZZTIME) ./internal/scenario
+
+# Coverage profile + total, the same numbers the CI coverage gate checks.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+ci: build lint race bench fuzz cover
 
 clean:
-	rm -f bench.txt
+	rm -f bench.txt coverage.out

@@ -1,6 +1,7 @@
 // Command campaign runs an arbitrary simulation sweep — the cartesian
-// product of {policy × benchmark × governor × seed × tmax} — across a
-// worker pool, and exports the aggregated per-cell metrics.
+// product of {policy × workload × governor × seed × tmax}, where the
+// workload axis is either benchmarks or named scenarios — across a worker
+// pool, and exports the aggregated per-cell metrics.
 //
 // Results are deterministic at any parallelism level: the same grid and
 // -seed produce byte-identical -json/-csv files whether -workers is 1 or 64.
@@ -11,6 +12,7 @@
 //	campaign -benches dijkstra,patricia -policies with-fan,dtpm -seeds 1,2
 //	campaign -benches all -policies dtpm -tmax 58,63,68 -workers 8 \
 //	         -json sweep.json -csv sweep.csv
+//	campaign -scenarios all -policies with-fan,reactive -workers 8
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/governor"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -30,7 +33,8 @@ import (
 func main() {
 	var (
 		policies  = flag.String("policies", "dtpm", "comma-separated policies (with-fan,without-fan,reactive,dtpm)")
-		benches   = flag.String("benches", "templerun", `comma-separated benchmark names, or "all"`)
+		benches   = flag.String("benches", "", `comma-separated benchmark names, or "all" (default templerun unless -scenarios is set)`)
+		scenarios = flag.String("scenarios", "", `comma-separated scenario names, or "all" (alternative workload axis)`)
 		governors = flag.String("governors", "", "comma-separated cpufreq governors (empty = ondemand)")
 		seeds     = flag.String("seeds", "1", "comma-separated replicate seeds")
 		tmax      = flag.String("tmax", "", "comma-separated thermal constraints in C (empty = paper's 63)")
@@ -45,6 +49,7 @@ func main() {
 
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workload.Names(), ", "))
+		fmt.Println("scenarios: ", strings.Join(scenario.Names(), ", "))
 		var pols []string
 		for _, p := range sim.Policies() {
 			pols = append(pols, p.String())
@@ -53,7 +58,7 @@ func main() {
 		return
 	}
 
-	grid, err := buildGrid(*policies, *benches, *governors, *seeds, *tmax)
+	grid, err := buildGrid(*policies, *benches, *scenarios, *governors, *seeds, *tmax)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,7 +116,7 @@ func fatal(err error) {
 }
 
 // buildGrid parses the axis flags into a campaign grid.
-func buildGrid(policies, benches, governors, seeds, tmax string) (campaign.Grid, error) {
+func buildGrid(policies, benches, scenarios, governors, seeds, tmax string) (campaign.Grid, error) {
 	var g campaign.Grid
 	for _, name := range splitList(policies) {
 		p, err := sim.ParsePolicy(name)
@@ -119,6 +124,9 @@ func buildGrid(policies, benches, governors, seeds, tmax string) (campaign.Grid,
 			return g, err
 		}
 		g.Policies = append(g.Policies, p)
+	}
+	if benches != "" && scenarios != "" {
+		return g, fmt.Errorf("-benches and -scenarios are alternative workload axes; set one")
 	}
 	if benches == "all" {
 		g.Benchmarks = workload.Names()
@@ -128,6 +136,16 @@ func buildGrid(policies, benches, governors, seeds, tmax string) (campaign.Grid,
 				return g, err
 			}
 			g.Benchmarks = append(g.Benchmarks, name)
+		}
+	}
+	if scenarios == "all" {
+		g.Scenarios = scenario.Names()
+	} else {
+		for _, name := range splitList(scenarios) {
+			if _, err := scenario.ByName(name); err != nil {
+				return g, err
+			}
+			g.Scenarios = append(g.Scenarios, name)
 		}
 	}
 	// Validate governor names up front like benchmarks: a typo should fail

@@ -1,0 +1,313 @@
+// Command scenario runs, records, replays, and diffs multi-phase usage
+// scenarios on the simulated device.
+//
+// A scenario strings timed phases together the way a real device is used —
+// app switches, idle gaps, ambient changes, governor swaps, thermal-soak
+// preludes — and a recorded run captures both the simulator's outputs and
+// the scripted inputs, so the trace itself can be re-fed as the workload
+// demand source later. Replaying a trace with the parameters of the
+// original run reproduces it sample for sample; any mismatch means the
+// sim/thermal/dtpm stack changed behaviour, which is exactly what the
+// golden-trace regression tests pin.
+//
+// Usage:
+//
+//	scenario list
+//	scenario run    -s gaming-session [-policy with-fan] [-seed 1] [-chart]
+//	scenario record -s gaming-session -o trace.csv
+//	scenario replay -trace trace.csv [-o fresh.csv] [-tol 0]
+//	scenario diff   -a a.csv -b b.csv [-tol 0]
+//
+// run and record accept -spec file.json in place of -s to execute a custom
+// declarative scenario. replay exits non-zero when the diff is not clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:], false)
+	case "record":
+		err = cmdRun(os.Args[2:], true)
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  scenario list
+  scenario run    -s <name>|-spec <file.json> [flags]
+  scenario record -s <name>|-spec <file.json> -o trace.csv [flags]
+  scenario replay -trace trace.csv [-o fresh.csv] [-tol 0] [flags]
+  scenario diff   -a a.csv -b b.csv [-tol 0]
+
+common flags: -policy with-fan|without-fan|reactive|dtpm  -seed N
+              -tmax C  -governor NAME  -period S`)
+}
+
+func cmdList() error {
+	for _, name := range scenario.Names() {
+		s, err := scenario.ByName(name)
+		if err != nil {
+			return err
+		}
+		c, err := scenario.Compile(s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %5.0fs  %d phases  %s\n", s.Name, c.Duration(), c.Phases(), s.Notes)
+	}
+	return nil
+}
+
+// runFlags are the simulation parameters shared by run/record/replay. They
+// must match between a recording and its replay for the reproduction to be
+// exact.
+type runFlags struct {
+	policy   string
+	seed     int64
+	tmax     float64
+	governor string
+	period   float64
+}
+
+func addRunFlags(fs *flag.FlagSet) *runFlags {
+	rf := &runFlags{}
+	fs.StringVar(&rf.policy, "policy", "with-fan", "thermal-management policy (with-fan, without-fan, reactive, dtpm)")
+	fs.Int64Var(&rf.seed, "seed", 1, "sensor-noise / background seed (dtpm: also the characterization seed)")
+	fs.Float64Var(&rf.tmax, "tmax", 0, "thermal constraint in C (0 = paper's 63)")
+	fs.StringVar(&rf.governor, "governor", "", "initial cpufreq governor (empty = ondemand)")
+	fs.Float64Var(&rf.period, "period", 0, "control period in seconds (0 = paper's 0.1)")
+	return rf
+}
+
+// options builds the sim.Options for a scripted run, characterizing the
+// device first when the policy needs models.
+func (rf *runFlags) options(runner *sim.Runner, script sim.Script, record bool) (sim.Options, error) {
+	pol, err := sim.ParsePolicy(rf.policy)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	opt := sim.Options{
+		Policy:        pol,
+		Script:        script,
+		Seed:          rf.seed,
+		TMax:          rf.tmax,
+		Governor:      rf.governor,
+		ControlPeriod: rf.period,
+		Record:        record,
+	}
+	if pol == sim.PolicyDTPM {
+		fmt.Fprintln(os.Stderr, "scenario: characterizing device (furnace + PRBS system identification)...")
+		models, err := runner.Characterize(rf.seed)
+		if err != nil {
+			return sim.Options{}, err
+		}
+		opt.Model = models.Thermal
+		opt.PowerModel = models.Power
+	}
+	return opt, nil
+}
+
+func cmdRun(args []string, record bool) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("s", "", "library scenario name (see `scenario list`)")
+	specFile := fs.String("spec", "", "JSON scenario spec file (alternative to -s)")
+	out := fs.String("o", "", "write the recorded trace CSV to this file")
+	chart := fs.Bool("chart", false, "print ASCII charts of the main series")
+	rf := addRunFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := loadSpec(*name, *specFile)
+	if err != nil {
+		return err
+	}
+	script, err := scenario.Compile(spec)
+	if err != nil {
+		return err
+	}
+	if record && *out == "" {
+		return fmt.Errorf("record needs -o <trace.csv>")
+	}
+
+	runner := sim.NewRunner()
+	opt, err := rf.options(runner, script, record || *chart || *out != "")
+	if err != nil {
+		return err
+	}
+	res, err := runner.Run(opt)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if *chart {
+		for _, s := range []string{"maxtemp", "power_w", "freq_ghz"} {
+			if series := res.Rec.Series(s); series != nil {
+				fmt.Print(trace.AsciiChart(s, []*trace.Series{series}, 10, 72))
+			}
+		}
+	}
+	if *out != "" {
+		if err := writeFile(*out, res.Rec.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scenario: trace written to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "recorded trace CSV to replay (required)")
+	out := fs.String("o", "", "write the fresh run's trace CSV to this file")
+	tol := fs.Float64("tol", 0, "value tolerance for the diff (0 = exact)")
+	rf := addRunFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("replay needs -trace <trace.csv>")
+	}
+	rec, err := readTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	script, err := scenario.FromTrace(rec, "replay:"+*tracePath)
+	if err != nil {
+		return err
+	}
+	if rf.period == 0 {
+		// Replay on the grid the trace was recorded at; an explicit
+		// -period still wins (and will report every sample mismatched).
+		rf.period = script.Period()
+	}
+
+	runner := sim.NewRunner()
+	opt, err := rf.options(runner, script, true)
+	if err != nil {
+		return err
+	}
+	res, err := runner.Run(opt)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if *out != "" {
+		if err := writeFile(*out, res.Rec.WriteCSV); err != nil {
+			return err
+		}
+	}
+	d := trace.DiffRecorders(rec, res.Rec.Materialize(), *tol)
+	fmt.Printf("replay diff vs %s: %s\n", *tracePath, d)
+	if !d.Clean() {
+		return fmt.Errorf("replay diverged from the recording (same -policy/-seed/-tmax/-governor/-period as the original?)")
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	a := fs.String("a", "", "first trace CSV")
+	b := fs.String("b", "", "second trace CSV")
+	tol := fs.Float64("tol", 0, "value tolerance (0 = exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *a == "" || *b == "" {
+		return fmt.Errorf("diff needs -a and -b trace files")
+	}
+	ra, err := readTrace(*a)
+	if err != nil {
+		return err
+	}
+	rb, err := readTrace(*b)
+	if err != nil {
+		return err
+	}
+	d := trace.DiffRecorders(ra, rb, *tol)
+	fmt.Println(d)
+	if !d.Clean() {
+		return fmt.Errorf("traces differ")
+	}
+	return nil
+}
+
+func loadSpec(name, specFile string) (scenario.Spec, error) {
+	switch {
+	case name != "" && specFile != "":
+		return scenario.Spec{}, fmt.Errorf("use -s or -spec, not both")
+	case specFile != "":
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		return scenario.ParseJSON(data)
+	case name != "":
+		return scenario.ByName(name)
+	default:
+		return scenario.Spec{}, fmt.Errorf("need -s <name> (see `scenario list`) or -spec <file.json>")
+	}
+}
+
+func printResult(res *sim.Result) {
+	fmt.Printf("%s under %s: %.1fs avg %.2fW / %.0fJ, maxT %.1fC avgT %.1fC, %.1fs over TMax\n",
+		res.Bench, res.Policy, res.ExecTime, res.AvgPower, res.Energy,
+		res.MaxTemp, res.AvgTemp, res.OverTMax)
+}
+
+func readTrace(path string) (*trace.Recorder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := trace.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

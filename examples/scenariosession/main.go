@@ -1,0 +1,56 @@
+// Scenariosession drives the scenario engine end to end: run a library
+// scenario (a full gaming session with menus, gameplay, and a pause),
+// record its trace, replay the trace as the workload demand source, and
+// verify the replay reproduces the original run sample for sample. It then
+// sweeps every library scenario across two policies with the campaign
+// engine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	dev := repro.NewDevice()
+
+	// Run and record one named scenario.
+	res, err := dev.RunScenario(repro.ScenarioRunSpec{
+		Scenario: "gaming-session",
+		Policy:   repro.WithFan,
+		Seed:     1,
+		Record:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Summary())
+
+	// Replay the recorded trace: zero mismatches expected.
+	_, diff, err := dev.ReplayTrace(res.Rec, repro.ScenarioRunSpec{
+		Policy: repro.WithFan,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replay:", diff)
+	if !diff.Clean() {
+		log.Fatal("replay diverged from the recording")
+	}
+
+	// Sweep the whole scenario library across two policies.
+	grid := repro.CampaignGrid{
+		Policies:  []repro.Policy{repro.WithFan, repro.Reactive},
+		Scenarios: repro.Scenarios(),
+	}
+	fmt.Fprintf(os.Stderr, "sweeping %d scenario cells...\n", grid.Size())
+	rep, err := dev.RunCampaign(grid, nil, 0 /* GOMAXPROCS */, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+}

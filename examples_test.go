@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// exampleDirs returns every example program directory.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("examples", e.Name()))
+		}
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("found only %d example dirs: %v", len(dirs), dirs)
+	}
+	return dirs
+}
+
+func goTool(t *testing.T, timeout time.Duration, args ...string) (string, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+// TestExamplesBuildAndVet is the compile gate for every example: each one
+// must build and pass vet, so a facade change can never silently rot the
+// documented usage.
+func TestExamplesBuildAndVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example builds in -short mode")
+	}
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			if out, err := goTool(t, 2*time.Minute, "build", "-o", os.DevNull, "./"+dir); err != nil {
+				t.Fatalf("go build %s: %v\n%s", dir, err, out)
+			}
+			if out, err := goTool(t, 2*time.Minute, "vet", "./"+dir); err != nil {
+				t.Fatalf("go vet %s: %v\n%s", dir, err, out)
+			}
+		})
+	}
+}
+
+// TestExamplesRun actually executes the fastest end-to-end examples — the
+// quickstart, the campaign sweep, and the scenario record/replay session —
+// and requires a clean exit. A facade regression that compiles but fails
+// at runtime (bad benchmark name, broken models, diverging replay) fails
+// here.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example runs in -short mode")
+	}
+	for _, dir := range []string{
+		"examples/quickstart",
+		"examples/campaignsweep",
+		"examples/scenariosession",
+	} {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			out, err := goTool(t, 5*time.Minute, "run", "./"+dir)
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,7 +1,9 @@
 // Package campaign is the concurrent simulation-campaign engine: it fans a
-// declarative grid of {policy × benchmark × governor × seed} cells out
+// declarative grid of {policy × workload × governor × seed} cells out
 // across a worker pool, runs each cell through sim.Run, and aggregates the
 // fixed-size per-cell metrics in bounded memory (no traces are retained).
+// The workload axis is either a Table 6.4 benchmark or a named scenario
+// (a compiled multi-phase sim.Script); the two axes are alternatives.
 //
 // Determinism is the core contract: every cell derives its own RNG seed
 // from the campaign base seed and the cell's coordinates alone, and sim.Run
@@ -16,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -28,6 +31,11 @@ type Grid struct {
 	Policies []sim.Policy `json:"policies"`
 	// Benchmarks are workload names resolved through workload.ByName.
 	Benchmarks []string `json:"benchmarks"`
+	// Scenarios are named multi-phase scenarios resolved through
+	// scenario.ByName — the alternative workload axis. Declare Benchmarks
+	// or Scenarios, not both: a cell carrying both coordinates is a
+	// collected error.
+	Scenarios []string `json:"scenarios,omitempty"`
 	// Governors are default-governor names ("" = ondemand).
 	Governors []string `json:"governors"`
 	// Seeds are replicate seeds; each is mixed with the cell coordinates
@@ -52,13 +60,21 @@ func normalizedCell(c Cell) Cell {
 }
 
 // normalized returns the grid with every empty axis replaced by its single
-// default entry.
+// default entry. The workload axes default together: with scenarios
+// declared the benchmark axis collapses to the empty marker, and vice
+// versa, so a scenario sweep never silently gains a benchmark dimension.
 func (g Grid) normalized() Grid {
 	if len(g.Policies) == 0 {
 		g.Policies = []sim.Policy{sim.PolicyDTPM}
 	}
-	if len(g.Benchmarks) == 0 {
+	if len(g.Benchmarks) == 0 && len(g.Scenarios) == 0 {
 		g.Benchmarks = []string{"templerun"}
+	}
+	if len(g.Benchmarks) == 0 {
+		g.Benchmarks = []string{""}
+	}
+	if len(g.Scenarios) == 0 {
+		g.Scenarios = []string{""}
 	}
 	if len(g.Governors) == 0 {
 		g.Governors = []string{""}
@@ -75,7 +91,7 @@ func (g Grid) normalized() Grid {
 // Size returns the number of cells in the grid.
 func (g Grid) Size() int {
 	g = g.normalized()
-	return len(g.Policies) * len(g.Benchmarks) * len(g.Governors) * len(g.Seeds) * len(g.TMax)
+	return len(g.Policies) * len(g.Benchmarks) * len(g.Scenarios) * len(g.Governors) * len(g.Seeds) * len(g.TMax)
 }
 
 // Cells expands the grid into its cells in a deterministic row-major order
@@ -88,18 +104,21 @@ func (g Grid) Cells() []Cell {
 	cells := make([]Cell, 0, g.Size())
 	for _, pol := range g.Policies {
 		for _, bench := range g.Benchmarks {
-			for _, gov := range g.Governors {
-				for _, seed := range g.Seeds {
-					for _, tmax := range g.TMax {
-						c := normalizedCell(Cell{
-							Index:     len(cells),
-							Policy:    pol,
-							Benchmark: bench,
-							Governor:  gov,
-							Seed:      seed,
-							TMax:      tmax,
-						})
-						cells = append(cells, c)
+			for _, scen := range g.Scenarios {
+				for _, gov := range g.Governors {
+					for _, seed := range g.Seeds {
+						for _, tmax := range g.TMax {
+							c := normalizedCell(Cell{
+								Index:     len(cells),
+								Policy:    pol,
+								Benchmark: bench,
+								Scenario:  scen,
+								Governor:  gov,
+								Seed:      seed,
+								TMax:      tmax,
+							})
+							cells = append(cells, c)
+						}
 					}
 				}
 			}
@@ -108,20 +127,30 @@ func (g Grid) Cells() []Cell {
 	return cells
 }
 
-// Cell is one point of the grid.
+// Cell is one point of the grid. Exactly one of Benchmark/Scenario names
+// the workload.
 type Cell struct {
 	Index     int        `json:"index"`
 	Policy    sim.Policy `json:"policy"`
 	Benchmark string     `json:"benchmark"`
+	Scenario  string     `json:"scenario,omitempty"`
 	Governor  string     `json:"governor"`
 	Seed      int64      `json:"seed"`
 	TMax      float64    `json:"tmax"`
 }
 
+// Workload names the cell's workload coordinate regardless of axis.
+func (c Cell) Workload() string {
+	if c.Scenario != "" {
+		return "scenario:" + c.Scenario
+	}
+	return c.Benchmark
+}
+
 // String renders the cell coordinates compactly.
 func (c Cell) String() string {
 	c = normalizedCell(c)
-	return fmt.Sprintf("%s/%s/%s/seed%d/tmax%g", c.Policy, c.Benchmark, c.Governor, c.Seed, c.TMax)
+	return fmt.Sprintf("%s/%s/%s/seed%d/tmax%g", c.Policy, c.Workload(), c.Governor, c.Seed, c.TMax)
 }
 
 // DeriveSeed maps the campaign base seed and a cell to the seed its
@@ -148,6 +177,12 @@ func DeriveSeed(base int64, c Cell) int64 {
 	}
 	mix(c.Policy.String())
 	mix(c.Benchmark)
+	// Scenario cells prefix-tag their coordinate; plain benchmark cells
+	// skip the mix entirely so every pre-scenario derived stream is
+	// preserved verbatim.
+	if c.Scenario != "" {
+		mix("scenario:" + c.Scenario)
+	}
 	mix(c.Governor)
 	mix(fmt.Sprintf("%g", c.TMax))
 	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(c.Seed+1) + h
@@ -321,16 +356,31 @@ func (e *Engine) forEach(n int, fn func(i int)) {
 // runCell executes one cell, translating every failure mode into a
 // collected CellResult.
 func (e *Engine) runCell(c Cell) CellResult {
-	bench, err := workload.ByName(c.Benchmark)
-	if err != nil {
-		return CellResult{Cell: c, Err: err.Error()}
-	}
 	opt := sim.Options{
 		Policy:   c.Policy,
-		Bench:    bench,
 		Governor: c.Governor,
 		Seed:     DeriveSeed(e.BaseSeed, c),
 		TMax:     c.TMax,
+	}
+	switch {
+	case c.Scenario != "" && c.Benchmark != "":
+		return CellResult{Cell: c, Err: fmt.Sprintf("campaign: cell declares both benchmark %q and scenario %q", c.Benchmark, c.Scenario)}
+	case c.Scenario != "":
+		spec, err := scenario.ByName(c.Scenario)
+		if err != nil {
+			return CellResult{Cell: c, Err: err.Error()}
+		}
+		script, err := scenario.Compile(spec)
+		if err != nil {
+			return CellResult{Cell: c, Err: err.Error()}
+		}
+		opt.Script = script
+	default:
+		bench, err := workload.ByName(c.Benchmark)
+		if err != nil {
+			return CellResult{Cell: c, Err: err.Error()}
+		}
+		opt.Bench = bench
 	}
 	if e.Models != nil {
 		opt.Model = e.Models.Thermal

@@ -167,6 +167,23 @@ func (g *Userspace) Decide(_ [platform.CoresPerCluster]float64, _ platform.KHz, 
 	return d.FloorFreq(g.Fixed)
 }
 
+// Names returns the cpufreq governor names ByName accepts, in a stable
+// order. The position of a name in this list is its wire identifier in
+// recorded traces (the "gov_id" series), so the order must never change.
+func Names() []string {
+	return []string{"ondemand", "interactive", "performance", "powersave"}
+}
+
+// Index returns the position of name in Names(), or -1 when unknown.
+func Index(name string) int {
+	for i, n := range Names() {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
 // ByName constructs a governor by its cpufreq name.
 func ByName(name string) (CPUGovernor, error) {
 	switch name {

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Library returns the named scenarios shipped with the repo, in a stable
+// order. They cover the situations the paper's evaluation motivates but a
+// single-benchmark grid cannot express: full app sessions with menus and
+// pauses, screen-off gaps between interactive bursts, hot-environment
+// soaks, rapid app switching, and mixed CPU+GPU load. Durations are kept
+// in the tens-of-seconds to minutes range so a full library sweep stays
+// cheap.
+func Library() []Spec {
+	return []Spec{
+		{
+			Name:  "gaming-session",
+			Notes: "menu browsing, a long Templerun gameplay stretch, a pause, then a second game",
+			Seed:  1001,
+			SoakS: 15,
+			Phases: []Phase{
+				{Name: "menu", DurationS: 15, Benchmark: "angrybirds", Scale: 0.4},
+				{Name: "gameplay", DurationS: 60, Benchmark: "templerun"},
+				{Name: "pause", DurationS: 10},
+				{Name: "gameplay-2", DurationS: 40, Benchmark: "angrybirds"},
+			},
+		},
+		{
+			Name:  "video-playback",
+			Notes: "sustained YouTube decode between two idle gaps",
+			Seed:  1002,
+			Phases: []Phase{
+				{Name: "launch", DurationS: 5},
+				{Name: "playback", DurationS: 120, Benchmark: "youtube"},
+				{Name: "screen-off", DurationS: 10},
+			},
+		},
+		{
+			Name:   "bursty-interactive",
+			Notes:  "short JPEG bursts separated by idle reading gaps, the classic interactive pattern",
+			Seed:   1003,
+			Repeat: 6,
+			Phases: []Phase{
+				{Name: "read", DurationS: 8},
+				{Name: "burst", DurationS: 6, Benchmark: "jpeg"},
+			},
+		},
+		{
+			Name:     "soak-then-sprint",
+			Notes:    "a device heat-soaked at 45 C (car dashboard) launches the matrix-multiply stress load",
+			Seed:     1004,
+			AmbientC: 45,
+			SoakS:    45,
+			Phases: []Phase{
+				{Name: "sprint", DurationS: 45, Benchmark: "matrixmult"},
+			},
+		},
+		{
+			Name:   "app-switch-storm",
+			Notes:  "rapid cycling through four unrelated apps, defeating any per-app steady state",
+			Seed:   1005,
+			Repeat: 3,
+			Phases: []Phase{
+				{Name: "crypto", DurationS: 8, Benchmark: "sha"},
+				{Name: "photos", DurationS: 8, Benchmark: "jpeg"},
+				{Name: "maps", DurationS: 8, Benchmark: "dijkstra"},
+				{Name: "call", DurationS: 8, Benchmark: "gsm"},
+			},
+		},
+		{
+			Name:  "cold-start",
+			Notes: "a cold device launches straight into gameplay: the ramp the steady-state metrics exclude",
+			Seed:  1006,
+			Phases: []Phase{
+				{Name: "launch", DurationS: 5},
+				{Name: "gameplay", DurationS: 30, Benchmark: "templerun"},
+			},
+		},
+		{
+			Name:  "sustained-matmul",
+			Notes: "three minutes of multi-threaded matrix multiply under the performance governor",
+			Seed:  1007,
+			Phases: []Phase{
+				{Name: "stress", DurationS: 180, Benchmark: "matrixmult", Governor: "performance"},
+			},
+		},
+		{
+			Name:  "mixed-cpu-gpu",
+			Notes: "GPU-heavy gameplay, a CPU-only compute burst, then gameplay again in a warmer room",
+			Seed:  1008,
+			Phases: []Phase{
+				{Name: "gameplay", DurationS: 40, Benchmark: "templerun"},
+				{Name: "compute", DurationS: 30, Benchmark: "matrixmult"},
+				{Name: "gameplay-warm", DurationS: 40, Benchmark: "angrybirds", AmbientC: 36},
+			},
+		},
+	}
+}
+
+// ByName returns the named library scenario.
+func ByName(name string) (Spec, error) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %v)", name, Names())
+}
+
+// Names returns the library scenario names, sorted.
+func Names() []string {
+	lib := Library()
+	out := make([]string, len(lib))
+	for i, s := range lib {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -118,6 +118,15 @@ type Options struct {
 	// DTPM overrides the controller configuration (nil = paper defaults
 	// with Options.TMax applied). Used by the ablation studies.
 	DTPM *dtpm.Config
+	// Script, when set, drives a time-varying scenario instead of Bench:
+	// the workload, governor, GPU demand, activity factors, and ambient
+	// temperature are re-read from the script every control interval, and
+	// the run completes when the script's duration elapses. Bench is
+	// ignored. With Record set, the script's inputs are recorded alongside
+	// the outputs ("demand_w<i>", "gpu_demand", "ambient_c",
+	// "cpu_activity", "gpu_activity", "mem_traffic", "mem_bound",
+	// "gov_id"), which is what makes a trace replayable.
+	Script Script
 }
 
 // Result is the outcome of one run.
@@ -227,9 +236,13 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		opt.TMax = 63
 	}
 	if opt.MaxDuration == 0 {
-		opt.MaxDuration = 4 * opt.Bench.NominalDuration()
-		if opt.MaxDuration < 60 {
-			opt.MaxDuration = 60
+		if opt.Script != nil {
+			opt.MaxDuration = opt.Script.Duration()
+		} else {
+			opt.MaxDuration = 4 * opt.Bench.NominalDuration()
+			if opt.MaxDuration < 60 {
+				opt.MaxDuration = 60
+			}
 		}
 	}
 	if opt.Governor == "" {
@@ -275,15 +288,36 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 	}
 
 	// Workload setup: worker threads plus the Android background load.
+	// Script workers are open-ended (the script decides when they idle);
+	// benchmark workers carry the finite foreground work.
 	sched := kernel.NewSched()
-	gen := workload.NewGenerator(opt.Bench)
-	for i := 0; i < opt.Bench.Threads; i++ {
-		sched.Add(&kernel.Task{
-			Name:     fmt.Sprintf("%s-%d", opt.Bench.Name, i),
-			Demand:   gen.DemandAt,
-			MemBound: opt.Bench.MemBound,
-			WorkLeft: opt.Bench.WorkPerThread,
-		})
+	var gen *workload.Generator
+	var scriptTasks []*kernel.Task
+	var scriptDemandNames []string
+	if opt.Script != nil {
+		for i := 0; i < opt.Script.Workers(); i++ {
+			i := i
+			tk := &kernel.Task{
+				Name:     fmt.Sprintf("%s-w%d", opt.Script.Name(), i),
+				Demand:   func(t float64) float64 { return opt.Script.WorkerDemand(i, t) },
+				WorkLeft: math.Inf(1),
+			}
+			scriptTasks = append(scriptTasks, tk)
+			sched.Add(tk)
+			if opt.Record {
+				scriptDemandNames = append(scriptDemandNames, fmt.Sprintf("demand_w%d", i))
+			}
+		}
+	} else {
+		gen = workload.NewGenerator(opt.Bench)
+		for i := 0; i < opt.Bench.Threads; i++ {
+			sched.Add(&kernel.Task{
+				Name:     fmt.Sprintf("%s-%d", opt.Bench.Name, i),
+				Demand:   gen.DemandAt,
+				MemBound: opt.Bench.MemBound,
+				WorkLeft: opt.Bench.WorkPerThread,
+			})
+		}
 	}
 	bg := workload.NewBackground(opt.Seed + 77)
 	bgUtil := bg.UtilAt()
@@ -298,9 +332,13 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 	}
 
 	res := &Result{Bench: opt.Bench.Name, Policy: opt.Policy}
+	if opt.Script != nil {
+		res.Bench = opt.Script.Name()
+	}
 	if opt.Record {
 		res.Rec = trace.NewRecorder()
 	}
+	govName := opt.Governor
 
 	dt := opt.ControlPeriod
 	horizon := opt.PredHorizon
@@ -332,6 +370,40 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 
 	elapsed := 0.0
 	for k := 0; k < steps; k++ {
+		// Scripted scenarios re-read their conditions every interval:
+		// governor swaps take effect like a scaling_governor write (fresh
+		// instance, only when the name changes, so replayed swaps land on
+		// the same step with the same state), ambient moves the ground
+		// truth, and the workers' memory-boundedness follows the phase.
+		var cond Conditions
+		if opt.Script != nil {
+			cond = opt.Script.Conditions(elapsed)
+			if cond.Governor != "" && cond.Governor != govName {
+				ng, gerr := governor.ByName(cond.Governor)
+				if gerr != nil {
+					return nil, gerr
+				}
+				gov, govName = ng, cond.Governor
+			}
+			if cond.AmbientC != 0 {
+				tsim.P.Ambient = cond.AmbientC
+			}
+			for _, tk := range scriptTasks {
+				tk.MemBound = cond.MemBound
+			}
+			if res.Rec != nil {
+				for i, name := range scriptDemandNames {
+					res.Rec.Record(name, elapsed, opt.Script.WorkerDemand(i, elapsed))
+				}
+				res.Rec.Record("gpu_demand", elapsed, cond.GPUDemand)
+				res.Rec.Record("ambient_c", elapsed, tsim.P.Ambient)
+				res.Rec.Record("cpu_activity", elapsed, cond.CPUActivity)
+				res.Rec.Record("gpu_activity", elapsed, cond.GPUActivity)
+				res.Rec.Record("mem_traffic", elapsed, cond.MemTraffic)
+				res.Rec.Record("mem_bound", elapsed, cond.MemBound)
+				res.Rec.Record("gov_id", elapsed, float64(governor.Index(govName)))
+			}
+		}
 		st := tsim.State()
 		sensedTemps := bank.ReadCoreTemps(st.Core)
 		sensedPowers := bank.ReadDomainPowers(prevPowers)
@@ -360,11 +432,15 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 				effFreq = cap
 			}
 		case PolicyDTPM:
+			gpuActive := opt.Bench.GPUUtil > 0
+			if opt.Script != nil {
+				gpuActive = cond.GPUDemand > 0
+			}
 			dec := ctrl.Update(chip, dtpm.Inputs{
 				Temps:        sensedTemps,
 				Powers:       sensedPowers,
 				GovernorFreq: govFreq,
-				GPUActive:    opt.Bench.GPUUtil > 0,
+				GPUActive:    gpuActive,
 			})
 			if res.Rec != nil {
 				viol := 0.0
@@ -418,8 +494,16 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 			predRing = append(predRing, pred)
 			if res.Rec != nil {
 				// Timestamp at the instant the prediction refers to, so the
-				// series overlays the measured trace (Figure 4.9).
-				res.Rec.Record("predmax_c", elapsed+float64(horizon)*dt, stats.Max(pred[:]))
+				// series overlays the measured trace (Figure 4.9). Scripted
+				// traces are replay artifacts instead: they keep every
+				// series on the control-step grid, because a shifted clock
+				// would widen the CSV's union time grid past the scenario
+				// end and corrupt the duration a replay infers from it.
+				predT := elapsed + float64(horizon)*dt
+				if opt.Script != nil {
+					predT = elapsed
+				}
+				res.Rec.Record("predmax_c", predT, stats.Max(pred[:]))
 			}
 		}
 
@@ -429,7 +513,10 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		prevUtil = tick.CoreUtil
 
 		// GPU load: demand expressed at the max GPU frequency.
-		gpuDemand := gen.GPUUtilAt(elapsed)
+		gpuDemand := cond.GPUDemand
+		if opt.Script == nil {
+			gpuDemand = gen.GPUUtilAt(elapsed)
+		}
 		gpuScale := float64(chip.GPUDomain.MaxFreq()) / float64(chip.GPUFreq())
 		prevGPUUtil = math.Min(1, gpuDemand*gpuScale)
 
@@ -438,12 +525,16 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		for _, u := range tick.CoreUtil {
 			sumUtil += u
 		}
+		cpuAct, gpuAct, memTraffic := opt.Bench.CPUActivity, opt.Bench.GPUActivity, opt.Bench.MemTraffic
+		if opt.Script != nil {
+			cpuAct, gpuAct, memTraffic = cond.CPUActivity, cond.GPUActivity, cond.MemTraffic
+		}
 		act := power.ChipActivity{
 			CoreUtil:    tick.CoreUtil,
-			CPUActivity: opt.Bench.CPUActivity,
+			CPUActivity: cpuAct,
 			GPUUtil:     prevGPUUtil,
-			GPUActivity: opt.Bench.GPUActivity,
-			MemTraffic:  opt.Bench.MemTraffic*math.Min(1, sumUtil) + 0.4*prevGPUUtil,
+			GPUActivity: gpuAct,
+			MemTraffic:  memTraffic*math.Min(1, sumUtil) + 0.4*prevGPUUtil,
 			FanSpeed:    fanSpeed,
 		}
 		breakdown := r.GT.Evaluate(chip, act, st.Core, st.Board)
@@ -472,13 +563,21 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		}
 		elapsed += dt
 
-		if sched.AllForegroundDone() {
+		if opt.Script != nil {
+			// A script completes on its clock, not on retired work (its
+			// workers are open-ended, so AllForegroundDone would fire
+			// immediately).
+			if elapsed >= opt.Script.Duration()-1e-9 {
+				res.Completed = true
+				break
+			}
+		} else if sched.AllForegroundDone() {
 			res.Completed = true
 			break
 		}
 	}
 
-	if res.Completed {
+	if res.Completed && opt.Script == nil {
 		res.ExecTime = sched.LastFinish()
 	} else {
 		res.ExecTime = elapsed

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// ReadCSV parses a wide CSV table produced by Recorder.WriteCSV back into a
+// Recorder: a "time_s" column followed by one column per series, rows in
+// strictly increasing time order. It is the inverse of WriteCSV up to the
+// zero-order-hold materialization: every series comes back sampled on the
+// full time grid, which is exactly what replaying a trace as a workload
+// demand source needs.
+//
+// The parser is strict — duplicate or empty series names, non-monotonic
+// times, non-finite values, and ragged rows are errors, never panics (the
+// fuzz harness holds it to that).
+func ReadCSV(r io.Reader) (*Recorder, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("trace: header has %d columns, need time_s plus at least one series", len(header))
+	}
+	if header[0] != "time_s" {
+		return nil, fmt.Errorf("trace: first column is %q, want time_s", header[0])
+	}
+	rec := NewRecorder()
+	names := make([]string, len(header)-1)
+	for i, name := range header[1:] {
+		if name == "" {
+			return nil, fmt.Errorf("trace: column %d has an empty series name", i+1)
+		}
+		if rec.series[name] != nil {
+			return nil, fmt.Errorf("trace: duplicate series name %q", name)
+		}
+		names[i] = name
+		rec.series[name] = &Series{Name: name}
+		rec.order = append(rec.order, name)
+	}
+	prev := math.Inf(-1)
+	for row := 1; ; row++ {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", row, err)
+		}
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("trace: row %d has %d columns, want %d", row, len(fields), len(header))
+		}
+		t, err := parseFinite(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", row, err)
+		}
+		// Strictly increasing: WriteCSV collapses duplicate timestamps, so
+		// accepting them here would break the round-trip fixed point (and
+		// make zero-order-hold lookups ambiguous).
+		if t <= prev {
+			return nil, fmt.Errorf("trace: row %d time %g does not increase past %g", row, t, prev)
+		}
+		prev = t
+		for i, name := range names {
+			v, err := parseFinite(fields[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d series %q: %w", row, name, err)
+			}
+			rec.series[name].Append(t, v)
+		}
+	}
+	return rec, nil
+}
+
+// parseFinite parses a float64 and rejects NaN and infinities, which have no
+// business in a recorded sensor log and would poison a replayed simulation.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
+
+// Mismatch is one sample-level disagreement between two recorders. Index -1
+// flags a series-length mismatch rather than a value difference.
+type Mismatch struct {
+	Series string
+	Index  int
+	TimeA  float64
+	TimeB  float64
+	ValA   float64
+	ValB   float64
+}
+
+func (m Mismatch) String() string {
+	if m.Index < 0 {
+		return fmt.Sprintf("%s: length %g vs %g", m.Series, m.ValA, m.ValB)
+	}
+	return fmt.Sprintf("%s[%d]: t=%g/%g v=%g/%g", m.Series, m.Index, m.TimeA, m.TimeB, m.ValA, m.ValB)
+}
+
+// maxKeptMismatches bounds the examples a DiffReport retains; Count keeps
+// the true total so a badly diverged pair still reports its magnitude.
+const maxKeptMismatches = 20
+
+// DiffReport is the outcome of DiffRecorders.
+type DiffReport struct {
+	// OnlyA / OnlyB list series present in one recorder but not the other.
+	OnlyA []string
+	OnlyB []string
+	// Count is the total number of mismatching samples (plus one per
+	// length-mismatched series); Mismatches keeps at most the first 20.
+	Count      int
+	Mismatches []Mismatch
+	// Samples is the number of sample pairs compared.
+	Samples int
+}
+
+// Clean reports a perfect match: same series, same lengths, every sample
+// within tolerance.
+func (d *DiffReport) Clean() bool {
+	return d.Count == 0 && len(d.OnlyA) == 0 && len(d.OnlyB) == 0
+}
+
+func (d *DiffReport) String() string {
+	if d.Clean() {
+		return fmt.Sprintf("identical: %d samples compared, zero mismatches", d.Samples)
+	}
+	s := fmt.Sprintf("%d mismatches over %d samples", d.Count, d.Samples)
+	for _, name := range d.OnlyA {
+		s += fmt.Sprintf("\n  only in A: %s", name)
+	}
+	for _, name := range d.OnlyB {
+		s += fmt.Sprintf("\n  only in B: %s", name)
+	}
+	for _, m := range d.Mismatches {
+		s += "\n  " + m.String()
+	}
+	if d.Count > len(d.Mismatches) {
+		s += fmt.Sprintf("\n  ... and %d more", d.Count-len(d.Mismatches))
+	}
+	return s
+}
+
+// DiffRecorders compares two recorders sample-by-sample over the series they
+// share. Times are always compared exactly; values within tol (0 = exact).
+// This is the regression check behind `scenario replay` and the golden-trace
+// tests: a replayed run must reproduce the original with zero mismatches.
+func DiffRecorders(a, b *Recorder, tol float64) *DiffReport {
+	d := &DiffReport{}
+	inB := make(map[string]bool, len(b.order))
+	for _, name := range b.order {
+		inB[name] = true
+	}
+	for _, name := range a.order {
+		if !inB[name] {
+			d.OnlyA = append(d.OnlyA, name)
+		}
+	}
+	for _, name := range b.order {
+		if a.series[name] == nil {
+			d.OnlyB = append(d.OnlyB, name)
+		}
+	}
+	keep := func(m Mismatch) {
+		d.Count++
+		if len(d.Mismatches) < maxKeptMismatches {
+			d.Mismatches = append(d.Mismatches, m)
+		}
+	}
+	for _, name := range a.order {
+		sa, sb := a.series[name], b.series[name]
+		if sb == nil {
+			continue
+		}
+		if sa.Len() != sb.Len() {
+			keep(Mismatch{Series: name, Index: -1, ValA: float64(sa.Len()), ValB: float64(sb.Len())})
+		}
+		n := sa.Len()
+		if sb.Len() < n {
+			n = sb.Len()
+		}
+		for i := 0; i < n; i++ {
+			d.Samples++
+			if sa.Times[i] != sb.Times[i] || math.Abs(sa.Vals[i]-sb.Vals[i]) > tol {
+				keep(Mismatch{
+					Series: name, Index: i,
+					TimeA: sa.Times[i], TimeB: sb.Times[i],
+					ValA: sa.Vals[i], ValB: sb.Vals[i],
+				})
+			}
+		}
+	}
+	return d
+}

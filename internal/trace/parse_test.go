@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 50; i++ {
+		ti := float64(i) * 0.1
+		r.Record("temp", ti, 40.123456789123+float64(i)*0.37)
+		r.Record("power", ti, 1.5e-3*float64(i*i))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffRecorders(r, got, 0); !d.Clean() {
+		t.Fatalf("write/read round trip not lossless:\n%s", d)
+	}
+	// A second write produces byte-identical output.
+	var buf2 bytes.Buffer
+	if err := got.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialized CSV differs from the original bytes")
+	}
+}
+
+func TestReadCSVZeroOrderHoldMaterialization(t *testing.T) {
+	// Series on different grids come back materialized on the union grid.
+	r := NewRecorder()
+	r.Record("a", 0, 1)
+	r.Record("a", 1, 2)
+	r.Record("b", 0.5, 10)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got.Series("b")
+	if b.Len() != 3 {
+		t.Fatalf("b materialized to %d samples, want 3", b.Len())
+	}
+	// At() extends the first value backward before the series start.
+	if b.Vals[0] != 10 || b.Vals[1] != 10 || b.Vals[2] != 10 {
+		t.Fatalf("b values = %v, want [10 10 10]", b.Vals)
+	}
+}
+
+func TestReadCSVRejects(t *testing.T) {
+	bad := map[string]string{
+		"empty":           "",
+		"no series":       "time_s\n1\n",
+		"wrong time col":  "t,a\n0,1\n",
+		"dup series":      "time_s,a,a\n0,1,2\n",
+		"empty name":      "time_s,\n0,1\n",
+		"ragged row":      "time_s,a\n0,1,2\n",
+		"bad float":       "time_s,a\nzero,1\n",
+		"nan value":       "time_s,a\n0,NaN\n",
+		"inf time":        "time_s,a\n+Inf,1\n",
+		"time regression": "time_s,a\n1,1\n0,2\n",
+		"duplicate time":  "time_s,a\n0,1\n0,2\n",
+	}
+	for name, in := range bad {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadCSV accepted %q", name, in)
+		}
+	}
+}
+
+func TestDiffRecorders(t *testing.T) {
+	mk := func() *Recorder {
+		r := NewRecorder()
+		r.Record("x", 0, 1)
+		r.Record("x", 1, 2)
+		r.Record("y", 0, 5)
+		return r
+	}
+	if d := DiffRecorders(mk(), mk(), 0); !d.Clean() || d.Samples != 3 {
+		t.Fatalf("identical recorders: %s", d)
+	}
+
+	// Value mismatch, caught exactly and released by tolerance.
+	b := mk()
+	b.Series("x").Vals[1] += 1e-9
+	if d := DiffRecorders(mk(), b, 0); d.Count != 1 {
+		t.Fatalf("want 1 mismatch, got %s", d)
+	}
+	if d := DiffRecorders(mk(), b, 1e-6); !d.Clean() {
+		t.Fatalf("tolerance should absorb tiny drift: %s", d)
+	}
+
+	// Time mismatch is never absorbed by tolerance.
+	c := mk()
+	c.Series("x").Times[1] += 1e-9
+	if d := DiffRecorders(mk(), c, 1); d.Count != 1 {
+		t.Fatalf("time shift must mismatch: %s", d)
+	}
+
+	// Length and membership differences.
+	e := mk()
+	e.Record("x", 2, 3)
+	e.Record("z", 0, 0)
+	d := DiffRecorders(mk(), e, 0)
+	if d.Count != 1 || len(d.OnlyB) != 1 || d.OnlyB[0] != "z" {
+		t.Fatalf("length/membership diff: %s", d)
+	}
+	if d.Clean() {
+		t.Fatal("diff with extras must not be clean")
+	}
+	if !strings.Contains(d.String(), "only in B") {
+		t.Fatalf("report missing membership line:\n%s", d)
+	}
+}
+
+func TestDiffReportCapsExamples(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	for i := 0; i < 100; i++ {
+		a.Record("x", float64(i), 0)
+		b.Record("x", float64(i), 1)
+	}
+	d := DiffRecorders(a, b, 0)
+	if d.Count != 100 {
+		t.Fatalf("Count = %d, want 100", d.Count)
+	}
+	if len(d.Mismatches) != maxKeptMismatches {
+		t.Fatalf("kept %d examples, want %d", len(d.Mismatches), maxKeptMismatches)
+	}
+	if !strings.Contains(d.String(), "and 80 more") {
+		t.Fatalf("report should summarize the overflow:\n%s", d)
+	}
+}

@@ -92,29 +92,22 @@ func (r *Recorder) Names() []string {
 // one column per series. Series are aligned on the union of all timestamps;
 // a series without a sample at a given time repeats its previous value
 // (zero-order hold), matching how periodic sensor logs behave.
+//
+// Floats use the shortest exact representation, so ReadCSV recovers
+// bit-identical values: a written trace replays through the simulator with
+// no rounding drift, and golden files are byte-comparable across runs.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := append([]string{"time_s"}, r.order...)
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	// Union of timestamps.
-	seen := map[float64]bool{}
-	var times []float64
-	for _, name := range r.order {
-		for _, t := range r.series[name].Times {
-			if !seen[t] {
-				seen[t] = true
-				times = append(times, t)
-			}
-		}
-	}
-	sort.Float64s(times)
+	times := r.unionTimes()
 	row := make([]string, len(header))
 	for _, t := range times {
-		row[0] = strconv.FormatFloat(t, 'g', 10, 64)
+		row[0] = strconv.FormatFloat(t, 'g', -1, 64)
 		for i, name := range r.order {
-			row[i+1] = strconv.FormatFloat(r.series[name].At(t), 'g', 8, 64)
+			row[i+1] = strconv.FormatFloat(r.series[name].At(t), 'g', -1, 64)
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -188,6 +181,41 @@ func AsciiChart(title string, series []*Series, rows, width int) string {
 		fmt.Fprintf(&b, "  %c = %s\n", glyphs[si%len(glyphs)], s.Name)
 	}
 	return b.String()
+}
+
+// unionTimes returns the sorted union of all series' timestamps — the
+// shared grid both WriteCSV and Materialize sample on.
+func (r *Recorder) unionTimes() []float64 {
+	seen := map[float64]bool{}
+	var times []float64
+	for _, name := range r.order {
+		for _, t := range r.series[name].Times {
+			if !seen[t] {
+				seen[t] = true
+				times = append(times, t)
+			}
+		}
+	}
+	sort.Float64s(times)
+	return times
+}
+
+// Materialize returns a copy of the recorder with every series sampled on
+// the union of all timestamps (zero-order hold) — exactly the series
+// WriteCSV writes and ReadCSV parses back. Comparing an in-memory recorder
+// against a parsed one requires materializing the in-memory side first,
+// because series recorded on shifted clocks (like the prediction overlay)
+// widen the union grid for every other series in the file.
+func (r *Recorder) Materialize() *Recorder {
+	times := r.unionTimes()
+	out := NewRecorder()
+	for _, name := range r.order {
+		s := r.series[name]
+		for _, t := range times {
+			out.Record(name, t, s.At(t))
+		}
+	}
+	return out
 }
 
 // Downsample returns a copy of s keeping every k-th sample (k >= 1).

@@ -28,12 +28,15 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/budget"
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -171,8 +174,10 @@ func (d *Device) Run(spec RunSpec) (*Result, error) {
 }
 
 // CampaignGrid declares a simulation campaign as the cartesian product of
-// {policy × benchmark × governor × seed × tmax} axes; empty axes default to
-// the paper's configuration. See the campaign package for the semantics.
+// {policy × workload × governor × seed × tmax} axes, where the workload
+// axis is either Table 6.4 benchmarks or named scenarios; empty axes
+// default to the paper's configuration. See the campaign package for the
+// semantics.
 type CampaignGrid = campaign.Grid
 
 // CampaignReport is a completed campaign: per-cell aggregate metrics (or a
@@ -203,6 +208,121 @@ func (d *Device) Compare(bench string, models *Models, seed int64) ([]*Result, e
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// ScenarioSpec re-exports the declarative scenario model: timed phases
+// that switch workloads, idle gaps, ambient profiles, governor swaps, and
+// thermal-soak preludes, compiled into the simulation loop.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioPhase re-exports one timed segment of a scenario.
+type ScenarioPhase = scenario.Phase
+
+// Scenarios returns the named library scenario names.
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioByName returns a library scenario's declarative spec.
+func ScenarioByName(name string) (ScenarioSpec, error) { return scenario.ByName(name) }
+
+// ScenarioRunSpec describes one scenario run.
+type ScenarioRunSpec struct {
+	// Scenario is a library scenario name (see Scenarios()); ignored when
+	// Spec is set.
+	Scenario string
+	// Spec is a custom declarative scenario (takes precedence).
+	Spec *ScenarioSpec
+	// Policy is the thermal-management configuration.
+	Policy Policy
+	// Models is required for the DTPM policy.
+	Models *Models
+	// Seed controls sensor noise and the background load; the scenario's
+	// own Seed field fixes the workload demand, so replicate seeds vary
+	// the noise around an identical scenario.
+	Seed int64
+	// TMax overrides the 63 °C constraint (0 = paper default).
+	TMax float64
+	// Governor sets the initial cpufreq governor ("" = ondemand); phases
+	// may swap it mid-run.
+	Governor string
+	// Record retains full time traces, including the scripted input
+	// series that make the trace replayable (see ReplayTrace).
+	Record bool
+}
+
+// RunScenario executes one multi-phase scenario.
+func (d *Device) RunScenario(spec ScenarioRunSpec) (*Result, error) {
+	s := spec.Spec
+	if s == nil {
+		named, err := scenario.ByName(spec.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		s = &named
+	}
+	script, err := scenario.Compile(*s)
+	if err != nil {
+		return nil, err
+	}
+	opt := sim.Options{
+		Policy:   spec.Policy,
+		Script:   script,
+		Seed:     spec.Seed,
+		TMax:     spec.TMax,
+		Governor: spec.Governor,
+		Record:   spec.Record,
+	}
+	if spec.Models != nil {
+		opt.Model = spec.Models.c.Thermal
+		opt.PowerModel = spec.Models.c.Power
+	}
+	res, err := d.r.Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res}, nil
+}
+
+// TraceDiff re-exports the sample-by-sample trace comparison report.
+type TraceDiff = trace.DiffReport
+
+// ReadTrace parses a trace CSV — written by Result.Rec.WriteCSV or
+// `cmd/scenario record` — back into a recorder ReplayTrace accepts, so the
+// record-to-file / replay-later workflow works outside this module too.
+func ReadTrace(r io.Reader) (*trace.Recorder, error) { return trace.ReadCSV(r) }
+
+// ReplayTrace re-feeds a recorded scenario trace as the workload demand
+// source (zero-order hold over the recorded input series), runs a fresh
+// simulation under the same policy/seed/constraint, and returns the fresh
+// result plus the sample-by-sample diff against the recording. With the
+// parameters of the original run, the diff reports zero mismatches — any
+// drift means the sim/thermal/dtpm stack changed behaviour.
+//
+// The trace supplies the workload and the control period, so only the
+// spec's Policy, Models, Seed, TMax, and Governor fields apply here;
+// Scenario and Spec are ignored and the fresh run always records.
+func (d *Device) ReplayTrace(rec *trace.Recorder, spec ScenarioRunSpec) (*Result, *TraceDiff, error) {
+	script, err := scenario.FromTrace(rec, "replay")
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := sim.Options{
+		Policy:        spec.Policy,
+		Script:        script,
+		Seed:          spec.Seed,
+		TMax:          spec.TMax,
+		Governor:      spec.Governor,
+		ControlPeriod: script.Period(),
+		Record:        true,
+	}
+	if spec.Models != nil {
+		opt.Model = spec.Models.c.Thermal
+		opt.PowerModel = spec.Models.c.Power
+	}
+	res, err := d.r.Run(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{Result: res}, trace.DiffRecorders(rec.Materialize(), res.Rec.Materialize(), 0), nil
 }
 
 // Benchmarks returns the Table 6.4 benchmark names.
