@@ -7,7 +7,11 @@ GO ?= go
 # real hunt, e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench lint fmt fuzz cover ci clean
+.PHONY: all build test race bench bench-json bench-baseline lint fmt fuzz cover ci clean
+
+# The hot-loop benchmarks whose allocs/op are engineered to be flat and
+# machine-independent; bench-json gates them against BENCH_baseline.json.
+HOTBENCH = BenchmarkSimCell$$|BenchmarkSimCellDTPM$$
 
 all: build
 
@@ -24,6 +28,21 @@ race:
 # trajectory snapshot the CI bench job archives.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | tee bench.txt
+
+# Machine-readable allocation snapshot of the simulation hot loops plus the
+# regression gate: fails when allocs/op grew >20% over the committed
+# baseline. ns/op and B/op ride along in the artifact for trend diffing but
+# are never gated (they depend on the host).
+bench-json:
+	$(GO) test -run '^$$' -bench '$(HOTBENCH)' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_latest.json
+	$(GO) run ./cmd/benchjson -check -max-allocs-regress 0.20 BENCH_baseline.json BENCH_latest.json
+
+# Regenerate the committed baseline after an INTENTIONAL allocation-profile
+# change; say why in the commit message.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(HOTBENCH)' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_baseline.json
 
 lint:
 	$(GO) vet ./...
@@ -44,7 +63,7 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build lint race bench fuzz cover
+ci: build lint race bench bench-json fuzz cover
 
 clean:
-	rm -f bench.txt coverage.out
+	rm -f bench.txt coverage.out BENCH_latest.json

@@ -1,0 +1,222 @@
+// Command benchjson turns `go test -bench -benchmem` output into a stable
+// JSON artifact and gates allocation regressions against a committed
+// baseline.
+//
+// Two modes:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson -out BENCH_latest.json
+//	benchjson -check BENCH_baseline.json BENCH_latest.json -max-allocs-regress 0.20
+//
+// The check compares allocs/op only: nanoseconds vary with the host, but
+// the hot loops are engineered to allocate a fixed, machine-independent
+// number of times per cell, so any growth beyond the tolerance is a real
+// regression (a buffer that stopped being reused, a new per-step
+// allocation). ns/op and B/op are recorded in the artifact for trend
+// diffing across CI runs but never gated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the artifact schema.
+type File struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the parsed JSON artifact to this file (default stdout)")
+		check      = flag.Bool("check", false, "compare two artifacts: benchjson -check baseline.json latest.json")
+		maxRegress = flag.Float64("max-allocs-regress", 0.20, "with -check: maximum tolerated fractional allocs/op growth")
+		only       = flag.String("only", "", "comma-separated benchmark-name substrings to keep (empty = all)")
+	)
+	flag.Parse()
+
+	if *check {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-check needs exactly two files: baseline.json latest.json"))
+		}
+		if err := runCheck(flag.Arg(0), flag.Arg(1), *maxRegress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	f, err := parse(os.Stdin, splitList(*only))
+	if err != nil {
+		fatal(err)
+	}
+	if len(f.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin (pipe `go test -bench -benchmem` output)"))
+	}
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks written to %s\n", len(f.Benchmarks), *out)
+}
+
+// parse reads `go test -bench` text: lines of the form
+//
+//	BenchmarkName-8   	      10	  123456 ns/op	  4096 B/op	  12 allocs/op
+func parse(r *os.File, only []string) (*File, error) {
+	var f File
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		// Strip only the -GOMAXPROCS suffix (e.g. "-8"); a TrimRight over
+		// digits would also eat digits that belong to the benchmark name
+		// (BenchmarkCRC32 must not collide with BenchmarkCRC).
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if !keep(name, only) {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: name, Iterations: iters}
+		if e.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			continue
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+	return &f, nil
+}
+
+func keep(name string, only []string) bool {
+	if len(only) == 0 {
+		return true
+	}
+	for _, o := range only {
+		if strings.Contains(name, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// runCheck fails (exit 1) when any benchmark present in BOTH files grew its
+// allocs/op by more than maxRegress. Benchmarks only in one file are
+// reported but never fail the gate (renames should not break CI).
+func runCheck(basePath, latestPath string, maxRegress float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	latest, err := load(latestPath)
+	if err != nil {
+		return err
+	}
+	baseBy := map[string]Entry{}
+	for _, e := range base.Benchmarks {
+		baseBy[e.Name] = e
+	}
+	bad := 0
+	for _, e := range latest.Benchmarks {
+		b, ok := baseBy[e.Name]
+		if !ok {
+			fmt.Printf("benchjson: %-28s NEW     allocs/op=%.0f (no baseline)\n", e.Name, e.AllocsPerOp)
+			continue
+		}
+		delete(baseBy, e.Name)
+		limit := b.AllocsPerOp * (1 + maxRegress)
+		status := "ok"
+		if e.AllocsPerOp > limit {
+			status = "REGRESSED"
+			bad++
+		} else if e.AllocsPerOp < b.AllocsPerOp {
+			status = "improved"
+		}
+		fmt.Printf("benchjson: %-28s %-9s allocs/op %.0f -> %.0f (limit %.0f)\n",
+			e.Name, status, b.AllocsPerOp, e.AllocsPerOp, limit)
+	}
+	for name := range baseBy {
+		fmt.Printf("benchjson: %-28s MISSING from latest run\n", name)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed allocs/op beyond %.0f%%; if intentional, regenerate the baseline with `make bench-baseline` and explain why in the commit", bad, maxRegress*100)
+	}
+	return nil
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,7 +1,8 @@
 // Command campaign runs an arbitrary simulation sweep — the cartesian
-// product of {policy × workload × governor × seed × tmax}, where the
-// workload axis is either benchmarks or named scenarios — across a worker
-// pool, and exports the aggregated per-cell metrics.
+// product of {policy × workload × platform × governor × seed × tmax},
+// where the workload axis is either benchmarks or named scenarios and the
+// platform axis names registered platform profiles — across a worker pool,
+// and exports the aggregated per-cell metrics.
 //
 // Results are deterministic at any parallelism level: the same grid and
 // -seed produce byte-identical -json/-csv files whether -workers is 1 or 64.
@@ -13,6 +14,7 @@
 //	campaign -benches all -policies dtpm -tmax 58,63,68 -workers 8 \
 //	         -json sweep.json -csv sweep.csv
 //	campaign -scenarios all -policies with-fan,reactive -workers 8
+//	campaign -benches dijkstra -platforms exynos5410,fanless-phone,tablet-8big -policies dtpm
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/governor"
+	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -35,6 +38,8 @@ func main() {
 		policies  = flag.String("policies", "dtpm", "comma-separated policies (with-fan,without-fan,reactive,dtpm)")
 		benches   = flag.String("benches", "", `comma-separated benchmark names, or "all" (default templerun unless -scenarios is set)`)
 		scenarios = flag.String("scenarios", "", `comma-separated scenario names, or "all" (alternative workload axis)`)
+		platforms = flag.String("platforms", "", `comma-separated platform profiles, or "all" (empty = `+platform.DefaultName+`)`)
+		platAlias = flag.String("platform", "", "single platform profile (alias for -platforms)")
 		governors = flag.String("governors", "", "comma-separated cpufreq governors (empty = ondemand)")
 		seeds     = flag.String("seeds", "1", "comma-separated replicate seeds")
 		tmax      = flag.String("tmax", "", "comma-separated thermal constraints in C (empty = paper's 63)")
@@ -50,6 +55,7 @@ func main() {
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workload.Names(), ", "))
 		fmt.Println("scenarios: ", strings.Join(scenario.Names(), ", "))
+		fmt.Println("platforms: ", strings.Join(platform.Names(), ", "))
 		var pols []string
 		for _, p := range sim.Policies() {
 			pols = append(pols, p.String())
@@ -58,25 +64,38 @@ func main() {
 		return
 	}
 
-	grid, err := buildGrid(*policies, *benches, *scenarios, *governors, *seeds, *tmax)
-	if err != nil {
-		fatal(err)
+	// -platform is a convenience alias for a single-entry -platforms axis
+	// (the single-run CLIs use the singular form).
+	platAxis := *platforms
+	if *platAlias != "" {
+		if platAxis != "" {
+			fatal(fmt.Errorf("use -platforms or -platform, not both"))
+		}
+		platAxis = *platAlias
 	}
-
-	// The DTPM policy (and prediction-accuracy accounting) needs the
-	// Chapter 4 characterization; run it once up front.
-	fmt.Fprintln(os.Stderr, "campaign: characterizing device (furnace + PRBS system identification)...")
-	runner := sim.NewRunner()
-	models, err := runner.Characterize(*baseSeed)
+	grid, err := buildGrid(*policies, *benches, *scenarios, platAxis, *governors, *seeds, *tmax)
 	if err != nil {
 		fatal(err)
 	}
 
 	eng := &campaign.Engine{
 		Workers:  *workers,
-		Runner:   runner,
-		Models:   models,
 		BaseSeed: *baseSeed,
+	}
+	// The DTPM policy (and prediction-accuracy accounting) needs the
+	// Chapter 4 characterization of the default device; run it up front —
+	// but only when some cell will actually use that device. A sweep whose
+	// platform axis names only non-default profiles gets each of them
+	// characterized lazily inside the engine instead.
+	if gridUsesDefaultPlatform(grid) {
+		fmt.Fprintln(os.Stderr, "campaign: characterizing device (furnace + PRBS system identification)...")
+		runner := sim.NewRunner()
+		models, err := runner.Characterize(*baseSeed)
+		if err != nil {
+			fatal(err)
+		}
+		eng.Runner = runner
+		eng.Models = models
 	}
 	if !*quiet {
 		eng.OnCellDone = func(done, total int, r campaign.CellResult) {
@@ -115,8 +134,23 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
+// gridUsesDefaultPlatform reports whether any cell of the grid will run on
+// the engine's default device (empty platform axis or an explicit default
+// entry).
+func gridUsesDefaultPlatform(g campaign.Grid) bool {
+	if len(g.Platforms) == 0 {
+		return true
+	}
+	for _, p := range g.Platforms {
+		if p == "" || p == platform.DefaultName {
+			return true
+		}
+	}
+	return false
+}
+
 // buildGrid parses the axis flags into a campaign grid.
-func buildGrid(policies, benches, scenarios, governors, seeds, tmax string) (campaign.Grid, error) {
+func buildGrid(policies, benches, scenarios, platforms, governors, seeds, tmax string) (campaign.Grid, error) {
 	var g campaign.Grid
 	for _, name := range splitList(policies) {
 		p, err := sim.ParsePolicy(name)
@@ -146,6 +180,16 @@ func buildGrid(policies, benches, scenarios, governors, seeds, tmax string) (cam
 				return g, err
 			}
 			g.Scenarios = append(g.Scenarios, name)
+		}
+	}
+	if platforms == "all" {
+		g.Platforms = platform.Names()
+	} else {
+		for _, name := range splitList(platforms) {
+			if _, err := platform.ByName(name); err != nil {
+				return g, err
+			}
+			g.Platforms = append(g.Platforms, name)
 		}
 	}
 	// Validate governor names up front like benchmarks: a typo should fail

@@ -7,6 +7,7 @@
 //	dtpmsim -bench templerun -policy dtpm
 //	dtpmsim -bench matrixmult -policy all
 //	dtpmsim -bench basicmath -policy nofan -csv trace.csv
+//	dtpmsim -bench dijkstra -platform tablet-8big -policy dtpm
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -27,7 +29,8 @@ func main() {
 		tmax     = flag.Float64("tmax", 0, "temperature constraint in C (0 = paper default 63)")
 		governor = flag.String("governor", "", "default cpufreq governor (ondemand, interactive, performance, powersave)")
 		csvPath  = flag.String("csv", "", "write full time traces to this CSV file")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
+		plat     = flag.String("platform", "", "platform profile (empty = "+platform.DefaultName+"; see -list)")
+		list     = flag.Bool("list", false, "list benchmarks and platforms, then exit")
 	)
 	flag.Parse()
 
@@ -36,6 +39,7 @@ func main() {
 			fmt.Printf("%-12s %-14s class=%-6s threads=%d nominal=%.0fs\n",
 				b.Name, b.Type, b.Class, b.Threads, b.NominalDuration())
 		}
+		fmt.Println("platforms:", strings.Join(platform.Names(), ", "))
 		return
 	}
 
@@ -49,6 +53,13 @@ func main() {
 	}
 
 	runner := sim.NewRunner()
+	if *plat != "" {
+		desc, err := platform.ByName(*plat)
+		if err != nil {
+			fatal(err)
+		}
+		runner = sim.NewRunnerFor(desc)
+	}
 	fmt.Fprintln(os.Stderr, "characterizing device (furnace + PRBS system identification)...")
 	ch, err := runner.Characterize(*seed)
 	if err != nil {

@@ -13,7 +13,8 @@
 // Usage:
 //
 //	scenario list
-//	scenario run    -s gaming-session [-policy with-fan] [-seed 1] [-chart]
+//	scenario platforms
+//	scenario run    -s gaming-session [-platform tablet-8big] [-policy with-fan] [-seed 1] [-chart]
 //	scenario record -s gaming-session -o trace.csv
 //	scenario replay -trace trace.csv [-o fresh.csv] [-tol 0]
 //	scenario diff   -a a.csv -b b.csv [-tol 0]
@@ -28,6 +29,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -42,6 +44,8 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		err = cmdList()
+	case "platforms":
+		err = cmdPlatforms()
 	case "run":
 		err = cmdRun(os.Args[2:], false)
 	case "record":
@@ -67,13 +71,37 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   scenario list
+  scenario platforms
   scenario run    -s <name>|-spec <file.json> [flags]
   scenario record -s <name>|-spec <file.json> -o trace.csv [flags]
   scenario replay -trace trace.csv [-o fresh.csv] [-tol 0] [flags]
   scenario diff   -a a.csv -b b.csv [-tol 0]
 
-common flags: -policy with-fan|without-fan|reactive|dtpm  -seed N
+common flags: -platform NAME (see `+"`scenario platforms`"+`)
+              -policy with-fan|without-fan|reactive|dtpm  -seed N
               -tmax C  -governor NAME  -period S`)
+}
+
+// cmdPlatforms mirrors `scenario list` for the platform registry: one line
+// per registered profile with its shape.
+func cmdPlatforms() error {
+	for _, name := range platform.Names() {
+		d, err := platform.ByName(name)
+		if err != nil {
+			return err
+		}
+		little := "-"
+		if d.Little != nil {
+			little = fmt.Sprintf("%d", d.Little.Cores)
+		}
+		fan := "fan"
+		if d.Fan == nil {
+			fan = "fanless"
+		}
+		fmt.Printf("%-16s big=%d little=%-2s gpu=%d-steps %-8s %s\n",
+			d.Name, d.Big.Cores, little, d.GPU.NumOPPs(), fan, d.Title)
+	}
+	return nil
 }
 
 func cmdList() error {
@@ -95,6 +123,7 @@ func cmdList() error {
 // must match between a recording and its replay for the reproduction to be
 // exact.
 type runFlags struct {
+	platform string
 	policy   string
 	seed     int64
 	tmax     float64
@@ -104,12 +133,25 @@ type runFlags struct {
 
 func addRunFlags(fs *flag.FlagSet) *runFlags {
 	rf := &runFlags{}
+	fs.StringVar(&rf.platform, "platform", "", "platform profile (see `scenario platforms`; empty = "+platform.DefaultName+")")
 	fs.StringVar(&rf.policy, "policy", "with-fan", "thermal-management policy (with-fan, without-fan, reactive, dtpm)")
 	fs.Int64Var(&rf.seed, "seed", 1, "sensor-noise / background seed (dtpm: also the characterization seed)")
 	fs.Float64Var(&rf.tmax, "tmax", 0, "thermal constraint in C (0 = paper's 63)")
 	fs.StringVar(&rf.governor, "governor", "", "initial cpufreq governor (empty = ondemand)")
 	fs.Float64Var(&rf.period, "period", 0, "control period in seconds (0 = paper's 0.1)")
 	return rf
+}
+
+// newRunner builds the simulated device for the -platform flag.
+func (rf *runFlags) newRunner() (*sim.Runner, error) {
+	if rf.platform == "" {
+		return sim.NewRunner(), nil
+	}
+	d, err := platform.ByName(rf.platform)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewRunnerFor(d), nil
 }
 
 // options builds the sim.Options for a scripted run, characterizing the
@@ -162,7 +204,14 @@ func cmdRun(args []string, record bool) error {
 		return fmt.Errorf("record needs -o <trace.csv>")
 	}
 
-	runner := sim.NewRunner()
+	runner, err := rf.newRunner()
+	if err != nil {
+		return err
+	}
+	// Validate the scenario against the platform it will run on.
+	if err := scenario.ValidateFor(spec, runner.Desc); err != nil {
+		return err
+	}
 	opt, err := rf.options(runner, script, record || *chart || *out != "")
 	if err != nil {
 		return err
@@ -214,7 +263,10 @@ func cmdReplay(args []string) error {
 		rf.period = script.Period()
 	}
 
-	runner := sim.NewRunner()
+	runner, err := rf.newRunner()
+	if err != nil {
+		return err
+	}
 	opt, err := rf.options(runner, script, true)
 	if err != nil {
 		return err

@@ -1,9 +1,12 @@
 // Package campaign is the concurrent simulation-campaign engine: it fans a
-// declarative grid of {policy × workload × governor × seed} cells out
-// across a worker pool, runs each cell through sim.Run, and aggregates the
-// fixed-size per-cell metrics in bounded memory (no traces are retained).
-// The workload axis is either a Table 6.4 benchmark or a named scenario
-// (a compiled multi-phase sim.Script); the two axes are alternatives.
+// declarative grid of {policy × workload × platform × governor × seed}
+// cells out across a worker pool, runs each cell through sim.Run, and
+// aggregates the fixed-size per-cell metrics in bounded memory (no traces
+// are retained). The workload axis is either a Table 6.4 benchmark or a
+// named scenario (a compiled multi-phase sim.Script); the two axes are
+// alternatives. The platform axis selects registered platform descriptors;
+// each non-default platform is characterized once per campaign (same base
+// seed) and its models are shared by all of its cells.
 //
 // Determinism is the core contract: every cell derives its own RNG seed
 // from the campaign base seed and the cell's coordinates alone, and sim.Run
@@ -18,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -36,6 +40,10 @@ type Grid struct {
 	// or Scenarios, not both: a cell carrying both coordinates is a
 	// collected error.
 	Scenarios []string `json:"scenarios,omitempty"`
+	// Platforms are registered platform-descriptor names (platform.Names);
+	// empty means the default platform only. Every non-default platform is
+	// characterized once (at the campaign base seed) before its cells run.
+	Platforms []string `json:"platforms,omitempty"`
 	// Governors are default-governor names ("" = ondemand).
 	Governors []string `json:"governors"`
 	// Seeds are replicate seeds; each is mixed with the cell coordinates
@@ -49,6 +57,13 @@ type Grid struct {
 // ("" governor = ondemand, 0 TMax = the paper's 63 °C) so that physically
 // identical cells derive identical seeds and exports record the
 // configuration the simulation actually enforced.
+//
+// The platform coordinate is deliberately NOT defaulted here: an empty
+// platform means "the engine's own device" — which need not be the
+// registry default when the caller built the engine around a non-default
+// runner (Device.RunCampaign on a NewDeviceFor device). runCell resolves
+// it against the engine and stamps the actual platform name into the
+// exported cell.
 func normalizedCell(c Cell) Cell {
 	if c.Governor == "" {
 		c.Governor = "ondemand"
@@ -76,6 +91,9 @@ func (g Grid) normalized() Grid {
 	if len(g.Scenarios) == 0 {
 		g.Scenarios = []string{""}
 	}
+	if len(g.Platforms) == 0 {
+		g.Platforms = []string{""}
+	}
 	if len(g.Governors) == 0 {
 		g.Governors = []string{""}
 	}
@@ -91,7 +109,7 @@ func (g Grid) normalized() Grid {
 // Size returns the number of cells in the grid.
 func (g Grid) Size() int {
 	g = g.normalized()
-	return len(g.Policies) * len(g.Benchmarks) * len(g.Scenarios) * len(g.Governors) * len(g.Seeds) * len(g.TMax)
+	return len(g.Policies) * len(g.Benchmarks) * len(g.Scenarios) * len(g.Platforms) * len(g.Governors) * len(g.Seeds) * len(g.TMax)
 }
 
 // Cells expands the grid into its cells in a deterministic row-major order
@@ -105,19 +123,22 @@ func (g Grid) Cells() []Cell {
 	for _, pol := range g.Policies {
 		for _, bench := range g.Benchmarks {
 			for _, scen := range g.Scenarios {
-				for _, gov := range g.Governors {
-					for _, seed := range g.Seeds {
-						for _, tmax := range g.TMax {
-							c := normalizedCell(Cell{
-								Index:     len(cells),
-								Policy:    pol,
-								Benchmark: bench,
-								Scenario:  scen,
-								Governor:  gov,
-								Seed:      seed,
-								TMax:      tmax,
-							})
-							cells = append(cells, c)
+				for _, plat := range g.Platforms {
+					for _, gov := range g.Governors {
+						for _, seed := range g.Seeds {
+							for _, tmax := range g.TMax {
+								c := normalizedCell(Cell{
+									Index:     len(cells),
+									Policy:    pol,
+									Benchmark: bench,
+									Scenario:  scen,
+									Platform:  plat,
+									Governor:  gov,
+									Seed:      seed,
+									TMax:      tmax,
+								})
+								cells = append(cells, c)
+							}
 						}
 					}
 				}
@@ -134,6 +155,7 @@ type Cell struct {
 	Policy    sim.Policy `json:"policy"`
 	Benchmark string     `json:"benchmark"`
 	Scenario  string     `json:"scenario,omitempty"`
+	Platform  string     `json:"platform"`
 	Governor  string     `json:"governor"`
 	Seed      int64      `json:"seed"`
 	TMax      float64    `json:"tmax"`
@@ -147,10 +169,15 @@ func (c Cell) Workload() string {
 	return c.Benchmark
 }
 
-// String renders the cell coordinates compactly.
+// String renders the cell coordinates compactly; the platform appears only
+// when explicitly non-default (keeping classic progress lines unchanged).
 func (c Cell) String() string {
 	c = normalizedCell(c)
-	return fmt.Sprintf("%s/%s/%s/seed%d/tmax%g", c.Policy, c.Workload(), c.Governor, c.Seed, c.TMax)
+	plat := ""
+	if c.Platform != "" && c.Platform != platform.DefaultName {
+		plat = "/" + c.Platform
+	}
+	return fmt.Sprintf("%s/%s%s/%s/seed%d/tmax%g", c.Policy, c.Workload(), plat, c.Governor, c.Seed, c.TMax)
 }
 
 // DeriveSeed maps the campaign base seed and a cell to the seed its
@@ -179,9 +206,14 @@ func DeriveSeed(base int64, c Cell) int64 {
 	mix(c.Benchmark)
 	// Scenario cells prefix-tag their coordinate; plain benchmark cells
 	// skip the mix entirely so every pre-scenario derived stream is
-	// preserved verbatim.
+	// preserved verbatim. Platforms follow the same rule: default-platform
+	// cells derive exactly the streams they did before the platform axis
+	// existed.
 	if c.Scenario != "" {
 		mix("scenario:" + c.Scenario)
+	}
+	if c.Platform != "" && c.Platform != platform.DefaultName {
+		mix("platform:" + c.Platform)
 	}
 	mix(c.Governor)
 	mix(fmt.Sprintf("%g", c.TMax))
@@ -274,6 +306,65 @@ type Engine struct {
 	mu    sync.Mutex // guards done/total for OnCellDone
 	done  int
 	total int
+
+	// Per-platform device cache for the Platforms sweep axis: each
+	// non-default platform gets one runner and one characterization
+	// (seeded with BaseSeed), built on first use and shared by all of its
+	// cells. platMu only guards the map; the expensive characterization
+	// runs under the entry's own once so two platforms can characterize
+	// concurrently without serializing on each other.
+	platMu  sync.Mutex
+	platDev map[string]*platformDevice
+}
+
+// platformDevice is one lazily characterized non-default platform.
+type platformDevice struct {
+	once   sync.Once
+	runner *sim.Runner
+	models *sim.Characterization
+	err    error
+}
+
+// runnerPlatform names the platform a runner simulates.
+func runnerPlatform(r *sim.Runner) string {
+	if r != nil && r.Desc != nil {
+		return r.Desc.Name
+	}
+	return platform.DefaultName
+}
+
+// deviceFor resolves the runner and models for a cell's platform
+// coordinate. The empty coordinate means the engine's own device (whatever
+// platform it was built around); a named coordinate is served by the
+// engine's Runner/Models when they describe that platform and otherwise by
+// the per-campaign cache, characterized on first use.
+func (e *Engine) deviceFor(name string) (*sim.Runner, *sim.Characterization, error) {
+	if name == "" || name == runnerPlatform(e.Runner) {
+		return e.Runner, e.Models, nil
+	}
+	e.platMu.Lock()
+	if e.platDev == nil {
+		e.platDev = make(map[string]*platformDevice)
+	}
+	dev, ok := e.platDev[name]
+	if !ok {
+		dev = &platformDevice{}
+		e.platDev[name] = dev
+	}
+	e.platMu.Unlock()
+	dev.once.Do(func() {
+		desc, err := platform.ByName(name)
+		if err != nil {
+			dev.err = err
+			return
+		}
+		dev.runner = sim.NewRunnerFor(desc)
+		// DTPM cells need the Chapter 4 models; prediction-accuracy
+		// accounting uses them under any policy. Characterize with the
+		// campaign base seed so the sweep is reproducible.
+		dev.models, dev.err = dev.runner.Characterize(e.BaseSeed)
+	})
+	return dev.runner, dev.models, dev.err
 }
 
 // Run executes every cell of the grid and returns the report. Individual
@@ -356,6 +447,14 @@ func (e *Engine) forEach(n int, fn func(i int)) {
 // runCell executes one cell, translating every failure mode into a
 // collected CellResult.
 func (e *Engine) runCell(c Cell) CellResult {
+	runner, models, err := e.deviceFor(c.Platform)
+	if err != nil {
+		return CellResult{Cell: c, Err: err.Error()}
+	}
+	// Export the platform the cell actually ran on (an empty coordinate
+	// resolves to the engine's device, which need not be the registry
+	// default).
+	c.Platform = runnerPlatform(runner)
 	opt := sim.Options{
 		Policy:   c.Policy,
 		Governor: c.Governor,
@@ -370,6 +469,12 @@ func (e *Engine) runCell(c Cell) CellResult {
 		if err != nil {
 			return CellResult{Cell: c, Err: err.Error()}
 		}
+		// Scenario cells validate the spec against the platform they run
+		// on (thread counts a platform cannot schedule are declaration
+		// bugs, caught here instead of producing meaningless metrics).
+		if err := scenario.ValidateFor(spec, runner.Desc); err != nil {
+			return CellResult{Cell: c, Err: err.Error()}
+		}
 		script, err := scenario.Compile(spec)
 		if err != nil {
 			return CellResult{Cell: c, Err: err.Error()}
@@ -382,11 +487,11 @@ func (e *Engine) runCell(c Cell) CellResult {
 		}
 		opt.Bench = bench
 	}
-	if e.Models != nil {
-		opt.Model = e.Models.Thermal
-		opt.PowerModel = e.Models.Power
+	if models != nil {
+		opt.Model = models.Thermal
+		opt.PowerModel = models.Power
 	}
-	res, err := runSafely(e.Runner, opt)
+	res, err := runSafely(runner, opt)
 	done := CellResult{Cell: c}
 	if err != nil {
 		done.Err = err.Error()

@@ -21,7 +21,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 
 // csvHeader is the column order of WriteCSV.
 var csvHeader = []string{
-	"index", "policy", "benchmark", "scenario", "governor", "seed", "tmax",
+	"index", "policy", "benchmark", "scenario", "platform", "governor", "seed", "tmax",
 	"error", "completed", "exec_s", "avg_power_w", "energy_j",
 	"max_temp_c", "avg_temp_c", "temp_var", "spread_c", "over_tmax_s",
 	"ss_avg_temp_c", "ss_temp_var", "ss_spread_c",
@@ -43,6 +43,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			c.Cell.Policy.String(),
 			c.Cell.Benchmark,
 			c.Cell.Scenario,
+			c.Cell.Platform,
 			c.Cell.Governor,
 			strconv.FormatInt(c.Cell.Seed, 10),
 			g(c.Cell.TMax),
@@ -73,19 +74,19 @@ func (r *Report) WriteCSV(w io.Writer) error {
 // Summary renders a compact per-cell table for terminal output.
 func (r *Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-12s %-22s %-10s %6s %6s  %8s %8s %8s %8s\n",
-		"idx", "policy", "workload", "governor", "seed", "tmax",
+	fmt.Fprintf(&b, "%-4s %-12s %-22s %-14s %-10s %6s %6s  %8s %8s %8s %8s\n",
+		"idx", "policy", "workload", "platform", "governor", "seed", "tmax",
 		"exec_s", "power_w", "maxT_C", "over_s")
 	for _, c := range r.Cells {
 		if c.Err != "" {
-			fmt.Fprintf(&b, "%-4d %-12s %-22s %-10s %6d %6g  FAILED: %s\n",
-				c.Cell.Index, c.Cell.Policy, c.Cell.Workload(), c.Cell.Governor,
+			fmt.Fprintf(&b, "%-4d %-12s %-22s %-14s %-10s %6d %6g  FAILED: %s\n",
+				c.Cell.Index, c.Cell.Policy, c.Cell.Workload(), c.Cell.Platform, c.Cell.Governor,
 				c.Cell.Seed, c.Cell.TMax, c.Err)
 			continue
 		}
 		m := c.Metrics
-		fmt.Fprintf(&b, "%-4d %-12s %-22s %-10s %6d %6g  %8.1f %8.2f %8.1f %8.1f\n",
-			c.Cell.Index, c.Cell.Policy, c.Cell.Workload(), c.Cell.Governor,
+		fmt.Fprintf(&b, "%-4d %-12s %-22s %-14s %-10s %6d %6g  %8.1f %8.2f %8.1f %8.1f\n",
+			c.Cell.Index, c.Cell.Policy, c.Cell.Workload(), c.Cell.Platform, c.Cell.Governor,
 			c.Cell.Seed, c.Cell.TMax,
 			m.ExecTime, m.AvgPower, m.MaxTemp, m.OverTMax)
 	}

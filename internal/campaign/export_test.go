@@ -51,23 +51,23 @@ func TestWriteCSVShape(t *testing.T) {
 		}
 	}
 	head := rows[0]
-	if head[0] != "index" || head[2] != "benchmark" || head[3] != "scenario" {
+	if head[0] != "index" || head[2] != "benchmark" || head[3] != "scenario" || head[4] != "platform" {
 		t.Errorf("header = %v", head)
 	}
 	// Success row: exact shortest-float formatting, empty error column.
 	ok := rows[1]
-	if ok[2] != "dijkstra" || ok[3] != "" || ok[7] != "" || ok[8] != "true" {
+	if ok[2] != "dijkstra" || ok[3] != "" || ok[8] != "" || ok[9] != "true" {
 		t.Errorf("success row = %v", ok)
 	}
-	if ok[9] != "64.5" || ok[11] != "209.625" {
-		t.Errorf("float formatting not shortest-exact: exec=%q energy=%q", ok[9], ok[11])
+	if ok[10] != "64.5" || ok[12] != "209.625" {
+		t.Errorf("float formatting not shortest-exact: exec=%q energy=%q", ok[10], ok[12])
 	}
 	// Failure row: scenario coordinate, error message, metrics blank.
 	fail := rows[2]
-	if fail[2] != "" || fail[3] != "cold-start" || fail[7] != "campaign: boom" {
+	if fail[2] != "" || fail[3] != "cold-start" || fail[8] != "campaign: boom" {
 		t.Errorf("failure row = %v", fail)
 	}
-	for col := 8; col < len(fail); col++ {
+	for col := 9; col < len(fail); col++ {
 		if fail[col] != "" {
 			t.Errorf("failed cell has metric in column %d: %q", col, fail[col])
 			break

@@ -105,15 +105,17 @@ type Limits struct {
 	OfflineCore int
 }
 
-// Unlimited returns limits that impose nothing.
-func Unlimited() Limits {
-	return Limits{MaxBigCores: platform.CoresPerCluster, OfflineCore: -1}
+// Unlimited returns limits that impose nothing on a chip with bigCores
+// big-cluster cores.
+func Unlimited(bigCores int) Limits {
+	return Limits{MaxBigCores: bigCores, OfflineCore: -1}
 }
 
 // Inputs are the sensor observations for one control interval.
 type Inputs struct {
-	// Temps are the sensed big-core hotspot temperatures (°C).
-	Temps [sysid.NumStates]float64
+	// Temps are the sensed big-core hotspot temperatures (°C), one per
+	// hotspot node of the platform.
+	Temps []float64
 	// Powers are the sensed domain powers (W) in Eq. 5.3 order.
 	Powers [sysid.NumInputs]float64
 	// GovernorFreq is the frequency the default governor wants for the
@@ -155,11 +157,12 @@ type Controller struct {
 
 	// Per-interval scratch buffers: Update runs every 100 ms kernel tick
 	// in every simulation cell, so the prediction vectors are preallocated
-	// here and reused instead of being rebuilt each call. A Controller is
-	// consequently not safe for concurrent use — each simulation cell owns
-	// its own (sim.Run builds one per run).
-	pvec [sysid.NumInputs]float64
-	pred [sysid.NumStates]float64
+	// here (sized to the model order) and reused instead of being rebuilt
+	// each call. A Controller is consequently not safe for concurrent use —
+	// each simulation cell owns its own (sim.Run builds one per run).
+	pvec      [sysid.NumInputs]float64
+	pred      []float64
+	predictor *sysid.Predictor
 }
 
 // NewController builds a controller from the identified thermal model and
@@ -171,13 +174,20 @@ func NewController(cfg Config, tm *sysid.ThermalModel, pm *power.Model) (*Contro
 	if cfg.TMax <= 0 || cfg.HorizonIntervals < 1 {
 		return nil, fmt.Errorf("dtpm: invalid config %+v", cfg)
 	}
-	if cfg.MinBigCores < 1 || cfg.MinBigCores > platform.CoresPerCluster {
+	if cfg.MinBigCores < 1 {
 		return nil, fmt.Errorf("dtpm: MinBigCores %d out of range", cfg.MinBigCores)
 	}
 	if !tm.Stable() {
 		return nil, fmt.Errorf("dtpm: identified thermal model is unstable")
 	}
-	return &Controller{Cfg: cfg, Model: tm, Power: pm, limits: Unlimited()}, nil
+	return &Controller{
+		Cfg: cfg, Model: tm, Power: pm,
+		// MaxBigCores is synced to the chip's core count on the first
+		// Update (the controller meets its chip only then).
+		limits:    Limits{MaxBigCores: 0, OfflineCore: -1},
+		pred:      make([]float64, tm.States()),
+		predictor: tm.NewPredictor(),
+	}, nil
 }
 
 // Limits returns the caps currently in force.
@@ -235,7 +245,7 @@ func (c *Controller) predictedPowers(chip *platform.Chip, in Inputs, f platform.
 	if chip.ActiveKind() == platform.BigCluster {
 		v, err := chip.BigCluster.Domain.VoltAt(f)
 		if err == nil {
-			tmax, _ := maxAt(in.Temps[:])
+			tmax, _ := maxAt(in.Temps)
 			p[platform.Big] = c.Power.PredictTotal(platform.Big, tmax, v, f)
 		}
 	}
@@ -245,12 +255,16 @@ func (c *Controller) predictedPowers(chip *platform.Chip, in Inputs, f platform.
 // Update runs one control interval. The chip is inspected, never mutated;
 // the caller (kernel glue) applies the returned limits.
 func (c *Controller) Update(chip *platform.Chip, in Inputs) Decision {
+	if c.limits.MaxBigCores == 0 {
+		// First interval: no core limit in force yet.
+		c.limits.MaxBigCores = chip.BigCluster.NumCores()
+	}
 	dec := Decision{Limits: c.limits}
 	dec.Limits.OfflineCore = -1
 	c.limits.OfflineCore = -1
 
 	// Run-time power model update (Figure 4.4) for the active cluster.
-	tmax, _ := maxAt(in.Temps[:])
+	tmax, _ := maxAt(in.Temps)
 	if chip.ActiveKind() == platform.BigCluster {
 		c.Power.Observe(platform.Big, in.Powers[platform.Big], tmax, chip.BigCluster.Volt(), chip.BigCluster.Freq())
 	} else {
@@ -261,9 +275,9 @@ func (c *Controller) Update(chip *platform.Chip, in Inputs) Decision {
 	// asymmetry margin compensating the aggregate power attribution.
 	intended := in.GovernorFreq
 	pvec := c.predictedPowers(chip, in, intended)
-	pred := c.Model.PredictConstInto(c.pred[:], in.Temps[:], pvec, c.Cfg.HorizonIntervals)
+	pred := c.predictor.PredictConstInto(c.pred, in.Temps, pvec, c.Cfg.HorizonIntervals)
 	dec.PredictedMax, dec.HottestCore = maxAt(pred)
-	dec.PredictedMax += c.asymMargin(in.Temps[:])
+	dec.PredictedMax += c.asymMargin(in.Temps)
 
 	// The intervention threshold matches the budget target (TMax - Guard;
 	// the asymmetry margin is already inside PredictedMax): triggering at
@@ -317,8 +331,8 @@ func (c *Controller) computeBudget(chip *platform.Chip, in Inputs, pred []float6
 	an, bn := c.Model.HorizonGains(hn)
 	// Right-hand side in relative coordinates, with the guard band and the
 	// asymmetry margin.
-	rhs := c.Cfg.TMax - c.Cfg.Guard - c.asymMargin(in.Temps[:]) - c.Model.Ambient
-	for j := 0; j < sysid.NumStates; j++ {
+	rhs := c.Cfg.TMax - c.Cfg.Guard - c.asymMargin(in.Temps) - c.Model.Ambient
+	for j := 0; j < c.Model.States(); j++ {
 		rhs -= an.At(row, j) * (in.Temps[j] - c.Model.Ambient)
 	}
 	// Subtract the uncontrolled domains' contributions.
@@ -353,7 +367,7 @@ func (c *Controller) computeBudget(chip *platform.Chip, in Inputs, pred []float6
 	} else {
 		volt = chip.LittleCluster.Volt()
 	}
-	tmax, _ := maxAt(in.Temps[:])
+	tmax, _ := maxAt(in.Temps)
 	leak := c.Power.LeakagePower(res, tmax, volt)
 	dyn := budget - leak
 	if dyn < 0 {
@@ -374,7 +388,7 @@ const maxPlausibleBudget = 50
 // current budget (never above it), removing the cap once the budget admits
 // the maximum frequency.
 func (c *Controller) trackBudgetUp(chip *platform.Chip, in Inputs, dec *Decision) {
-	tmaxNow, _ := maxAt(in.Temps[:])
+	tmaxNow, _ := maxAt(in.Temps)
 	if chip.ActiveKind() == platform.BigCluster && c.limits.BigFreqCap != 0 {
 		d := chip.BigCluster.Domain
 		f, ok := c.Power.QuantizeBudgetFreq(platform.Big, d, tmaxNow, dec.TotalBudget)
@@ -402,7 +416,7 @@ func (c *Controller) trackBudgetUp(chip *platform.Chip, in Inputs, dec *Decision
 // applyLadder updates the limits to satisfy the budget: frequency first,
 // then hottest-core shutdown, then cluster migration, then GPU throttling.
 func (c *Controller) applyLadder(chip *platform.Chip, in Inputs, dec *Decision) {
-	tmaxNow, hotNow := maxAt(in.Temps[:])
+	tmaxNow, hotNow := maxAt(in.Temps)
 	if chip.ActiveKind() == platform.BigCluster {
 		d := chip.BigCluster.Domain
 		f, ok := c.Power.QuantizeBudgetFreq(platform.Big, d, tmaxNow, dec.TotalBudget)
@@ -432,7 +446,11 @@ func (c *Controller) applyLadder(chip *platform.Chip, in Inputs, dec *Decision) 
 		if c.limits.MaxBigCores < online {
 			online = c.limits.MaxBigCores
 		}
-		if online > c.Cfg.MinBigCores {
+		minBig := c.Cfg.MinBigCores
+		if n := chip.BigCluster.NumCores(); minBig > n {
+			minBig = n
+		}
+		if online > minBig {
 			// Eq. 5.9: the HOTTEST core is put to sleep only when it is a
 			// runaway — when "applications tend to be scheduled such that
 			// they utilize a particular core and increase its temperature
@@ -440,14 +458,18 @@ func (c *Controller) applyLadder(chip *platform.Chip, in Inputs, dec *Decision) 
 			// the kernel glue sheds a core of its own deterministic choice
 			// (OfflineCore stays -1).
 			c.limits.MaxBigCores = online - 1
-			if tmin := minOf(in.Temps[:]); tmaxNow-tmin >= c.Cfg.Delta {
+			if tmin := minOf(in.Temps); tmaxNow-tmin >= c.Cfg.Delta {
 				c.limits.OfflineCore = hotNow
 			}
 			dec.Limits = c.limits
 			return
 		}
-		// Last resort: migrate to the little cluster (§5.2).
-		c.limits.ForceLittle = true
+		// Last resort: migrate to the little cluster (§5.2) — when the
+		// platform has one. Single-cluster SoCs skip this rung and fall
+		// through to GPU throttling.
+		if chip.HasLittle() {
+			c.limits.ForceLittle = true
+		}
 	} else {
 		// Already on little: cap its frequency against the budget.
 		d := chip.LittleCluster.Domain
@@ -490,7 +512,7 @@ func (c *Controller) relax(chip *platform.Chip, predictedMax float64) {
 		}
 	case c.limits.ForceLittle:
 		c.limits.ForceLittle = false
-	case c.limits.MaxBigCores < platform.CoresPerCluster:
+	case c.limits.MaxBigCores != 0 && c.limits.MaxBigCores < chip.BigCluster.NumCores():
 		c.limits.MaxBigCores++
 	case c.limits.LittleFreqCap != 0:
 		d := chip.LittleCluster.Domain

@@ -81,11 +81,8 @@ func TestNewControllerValidation(t *testing.T) {
 	if _, err := NewController(bad, tm, pm); err == nil {
 		t.Error("MinBigCores 0 accepted")
 	}
-	bad = DefaultConfig()
-	bad.MinBigCores = platform.CoresPerCluster + 1
-	if _, err := NewController(bad, tm, pm); err == nil {
-		t.Error("MinBigCores > cluster size accepted")
-	}
+	// MinBigCores above the chip's core count is clamped at Update time
+	// (the controller meets its chip only then), so it is accepted here.
 	// Unstable model must be rejected.
 	unstable := testModel()
 	for i := 0; i < sysid.NumStates; i++ {
@@ -97,7 +94,7 @@ func TestNewControllerValidation(t *testing.T) {
 }
 
 func TestUnlimitedLimits(t *testing.T) {
-	l := Unlimited()
+	l := Unlimited(platform.CoresPerCluster)
 	if l.BigFreqCap != 0 || l.LittleFreqCap != 0 || l.GPUFreqCap != 0 {
 		t.Error("Unlimited has frequency caps")
 	}
@@ -112,7 +109,7 @@ func TestUnlimitedLimits(t *testing.T) {
 // coolInputs returns inputs far from the constraint.
 func coolInputs(chip *platform.Chip) Inputs {
 	return Inputs{
-		Temps:        [sysid.NumStates]float64{40, 40.5, 39.8, 40.2},
+		Temps:        []float64{40, 40.5, 39.8, 40.2},
 		Powers:       [sysid.NumInputs]float64{1.0, 0.05, 0.05, 0.2},
 		GovernorFreq: chip.BigCluster.Domain.MaxFreq(),
 	}
@@ -121,7 +118,7 @@ func coolInputs(chip *platform.Chip) Inputs {
 // hotInputs returns inputs that predict a violation at max frequency.
 func hotInputs(chip *platform.Chip) Inputs {
 	return Inputs{
-		Temps:        [sysid.NumStates]float64{62.5, 62.0, 61.8, 62.2},
+		Temps:        []float64{62.5, 62.0, 61.8, 62.2},
 		Powers:       [sysid.NumInputs]float64{3.5, 0.05, 0.1, 0.5},
 		GovernorFreq: chip.BigCluster.Domain.MaxFreq(),
 	}
@@ -379,7 +376,9 @@ func TestDecisionFBudget(t *testing.T) {
 
 func TestLimitsAccessor(t *testing.T) {
 	c := newTestController(t, DefaultConfig())
-	if got := c.Limits(); got != Unlimited() {
-		t.Errorf("fresh controller limits %+v, want Unlimited", got)
+	chip := platform.NewChip()
+	c.Update(chip, coolInputs(chip))
+	if got := c.Limits(); got != Unlimited(chip.BigCluster.NumCores()) {
+		t.Errorf("controller limits after a cool interval %+v, want Unlimited", got)
 	}
 }

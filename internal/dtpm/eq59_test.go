@@ -8,7 +8,7 @@ import (
 
 // hopelessAt returns inputs whose budget is unmeetable, with the given
 // per-core temperatures.
-func hopelessAt(chip *platform.Chip, temps [4]float64) Inputs {
+func hopelessAt(chip *platform.Chip, temps []float64) Inputs {
 	return Inputs{
 		Temps:        temps,
 		Powers:       [4]float64{3.5, 0.05, 0.1, 0.5},
@@ -38,7 +38,7 @@ func TestEq59RunawayCoreTargeted(t *testing.T) {
 	c := newTestController(t, cfg)
 	chip := platform.NewChip()
 	// Core 2 runs 6 °C above the rest: well past Delta (2.5).
-	dec := driveToShed(t, c, chip, hopelessAt(chip, [4]float64{70, 70, 76, 70}))
+	dec := driveToShed(t, c, chip, hopelessAt(chip, []float64{70, 70, 76, 70}))
 	if dec.Limits.OfflineCore != 2 {
 		t.Errorf("OfflineCore = %d, want 2 (the runaway core, Eq. 5.9)", dec.Limits.OfflineCore)
 	}
@@ -52,7 +52,7 @@ func TestEq59BalancedCoresNotTargeted(t *testing.T) {
 	c := newTestController(t, cfg)
 	chip := platform.NewChip()
 	// Spread of 1 °C: below Delta.
-	dec := driveToShed(t, c, chip, hopelessAt(chip, [4]float64{72, 72.5, 71.8, 72.3}))
+	dec := driveToShed(t, c, chip, hopelessAt(chip, []float64{72, 72.5, 71.8, 72.3}))
 	if dec.Limits.OfflineCore != -1 {
 		t.Errorf("OfflineCore = %d, want -1 (cores balanced, Eq. 5.9 false)", dec.Limits.OfflineCore)
 	}

@@ -104,7 +104,7 @@ func TestRelaxFullLadderInverse(t *testing.T) {
 	// Phase 4: the frequency caps lift last.
 	for k := 0; k < 400; k++ {
 		lim = coolDown(c, chip, 1)
-		if lim == Unlimited() {
+		if lim == Unlimited(platform.CoresPerCluster) {
 			return
 		}
 	}
@@ -150,7 +150,7 @@ func TestTrackBudgetUpOnLittle(t *testing.T) {
 	c.limits.LittleFreqCap = chip.LittleCluster.Domain.MinFreq()
 
 	in := Inputs{
-		Temps:        [sysid.NumStates]float64{40, 40, 40, 40},
+		Temps:        []float64{40, 40, 40, 40},
 		Powers:       [sysid.NumInputs]float64{0.02, 0.3, 0.05, 0.2},
 		GovernorFreq: chip.LittleCluster.Domain.MaxFreq(),
 	}

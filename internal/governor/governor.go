@@ -17,14 +17,15 @@ type CPUGovernor interface {
 	// Name returns the governor's cpufreq name.
 	Name() string
 	// Decide returns the desired frequency given the current per-core
-	// utilizations (of the ONLINE cores; offline cores are 0) and the
-	// current frequency. The result is always a table frequency.
-	Decide(util [platform.CoresPerCluster]float64, cur platform.KHz, d *platform.Domain) platform.KHz
+	// utilizations (of the ONLINE cores; offline cores are 0; the slice
+	// length follows the platform's cluster width) and the current
+	// frequency. The result is always a table frequency.
+	Decide(util []float64, cur platform.KHz, d *platform.Domain) platform.KHz
 	// Reset clears internal state (called on cluster migration).
 	Reset()
 }
 
-func maxUtil(util [platform.CoresPerCluster]float64) float64 {
+func maxUtil(util []float64) float64 {
 	m := util[0]
 	for _, u := range util[1:] {
 		if u > m {
@@ -61,7 +62,7 @@ func (g *Ondemand) Name() string { return "ondemand" }
 func (g *Ondemand) Reset() { g.holdoff = 0 }
 
 // Decide implements CPUGovernor.
-func (g *Ondemand) Decide(util [platform.CoresPerCluster]float64, cur platform.KHz, d *platform.Domain) platform.KHz {
+func (g *Ondemand) Decide(util []float64, cur platform.KHz, d *platform.Domain) platform.KHz {
 	load := maxUtil(util)
 	if load > g.UpThreshold {
 		g.holdoff = g.SamplingDownFactor
@@ -101,7 +102,7 @@ func (g *Interactive) Name() string { return "interactive" }
 func (g *Interactive) Reset() { g.aboveHispeed = 0 }
 
 // Decide implements CPUGovernor.
-func (g *Interactive) Decide(util [platform.CoresPerCluster]float64, cur platform.KHz, d *platform.Domain) platform.KHz {
+func (g *Interactive) Decide(util []float64, cur platform.KHz, d *platform.Domain) platform.KHz {
 	load := maxUtil(util)
 	hispeed := d.FloorFreq(g.Hispeed)
 	if load >= g.GoHispeedLoad {
@@ -135,7 +136,7 @@ func (Performance) Name() string { return "performance" }
 func (Performance) Reset() {}
 
 // Decide implements CPUGovernor.
-func (Performance) Decide(_ [platform.CoresPerCluster]float64, _ platform.KHz, d *platform.Domain) platform.KHz {
+func (Performance) Decide(_ []float64, _ platform.KHz, d *platform.Domain) platform.KHz {
 	return d.MaxFreq()
 }
 
@@ -149,7 +150,7 @@ func (Powersave) Name() string { return "powersave" }
 func (Powersave) Reset() {}
 
 // Decide implements CPUGovernor.
-func (Powersave) Decide(_ [platform.CoresPerCluster]float64, _ platform.KHz, d *platform.Domain) platform.KHz {
+func (Powersave) Decide(_ []float64, _ platform.KHz, d *platform.Domain) platform.KHz {
 	return d.MinFreq()
 }
 
@@ -163,7 +164,7 @@ func (g *Userspace) Name() string { return "userspace" }
 func (g *Userspace) Reset() {}
 
 // Decide implements CPUGovernor.
-func (g *Userspace) Decide(_ [platform.CoresPerCluster]float64, _ platform.KHz, d *platform.Domain) platform.KHz {
+func (g *Userspace) Decide(_ []float64, _ platform.KHz, d *platform.Domain) platform.KHz {
 	return d.FloorFreq(g.Fixed)
 }
 

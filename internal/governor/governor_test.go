@@ -8,7 +8,7 @@ import (
 
 func bigD() *platform.Domain { return platform.BigDomain() }
 
-func u(v float64) [4]float64 { return [4]float64{v, v / 2, v / 3, 0} }
+func u(v float64) []float64 { return []float64{v, v / 2, v / 3, 0} }
 
 func TestOndemandJumpsToMaxOnHighLoad(t *testing.T) {
 	g := NewOndemand()
@@ -47,7 +47,7 @@ func TestOndemandSamplingDownFactor(t *testing.T) {
 func TestOndemandUsesMaxCoreLoad(t *testing.T) {
 	g := NewOndemand()
 	// One hot core among idle ones must still trigger the jump.
-	f := g.Decide([4]float64{0.05, 0.95, 0.0, 0.1}, 800000, bigD())
+	f := g.Decide([]float64{0.05, 0.95, 0.0, 0.1}, 800000, bigD())
 	if f != 1600000 {
 		t.Fatalf("ondemand must react to the busiest core, got %v", f)
 	}
@@ -115,7 +115,7 @@ func TestByName(t *testing.T) {
 func TestGovernorsAlwaysReturnTableFrequencies(t *testing.T) {
 	d := bigD()
 	govs := []CPUGovernor{NewOndemand(), NewInteractive(), Performance{}, Powersave{}, &Userspace{Fixed: 999999}}
-	loads := [][4]float64{u(0), u(0.2), u(0.5), u(0.85), u(1.0)}
+	loads := [][]float64{u(0), u(0.2), u(0.5), u(0.85), u(1.0)}
 	for _, g := range govs {
 		cur := d.MinFreq()
 		for step := 0; step < 40; step++ {

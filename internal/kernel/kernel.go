@@ -55,13 +55,47 @@ type Sched struct {
 
 	// Reusable per-tick buffers: Tick and rebalance run every 100 ms
 	// control interval, so the task groupings are kept across calls
-	// (truncated, never freed) instead of reallocated each tick.
-	perCore   [platform.CoresPerCluster][]*Task
+	// (truncated, never freed) instead of reallocated each tick. They are
+	// sized to the widest cluster seen so far (grow grows them).
+	perCore   [][]*Task
+	load      []float64
+	coreUtil  []float64
 	displaced []*Task
 }
 
 // NewSched returns an empty scheduler.
 func NewSched() *Sched { return &Sched{} }
+
+// Reserve preallocates for nTasks tasks on clusters up to nCores wide, so
+// the Add calls and the first Tick perform no incremental growth (the
+// simulation loop builds one Sched per run and knows both numbers
+// up front).
+func (s *Sched) Reserve(nTasks, nCores int) {
+	if cap(s.tasks) < nTasks {
+		grown := make([]*Task, len(s.tasks), nTasks)
+		copy(grown, s.tasks)
+		s.tasks = grown
+	}
+	if cap(s.displaced) < nTasks {
+		s.displaced = make([]*Task, 0, nTasks)
+	}
+	s.grow(nCores)
+}
+
+// grow ensures the per-core buffers cover n cores.
+func (s *Sched) grow(n int) {
+	if n <= len(s.perCore) {
+		return
+	}
+	old := s.perCore
+	s.perCore = make([][]*Task, n)
+	copy(s.perCore, old)
+	flat := make([]float64, 2*n)
+	copy(flat[:n], s.load)
+	copy(flat[n:], s.coreUtil)
+	s.load = flat[0:n:n]
+	s.coreUtil = flat[n : 2*n : 2*n]
+}
 
 // Add inserts a task, assigning it to the least-loaded core lazily at the
 // next tick (core -1 means unassigned).
@@ -106,8 +140,10 @@ func (s *Sched) LastFinish() float64 {
 
 // TickResult is the outcome of one scheduler interval.
 type TickResult struct {
-	// CoreUtil is the realized utilization of each core in [0, 1].
-	CoreUtil [platform.CoresPerCluster]float64
+	// CoreUtil is the realized utilization of each core in [0, 1], one
+	// entry per core of the ticked cluster. The slice aliases a Sched
+	// buffer reused by the next Tick; copy it to retain a sample.
+	CoreUtil []float64
 	// WorkDone is the total reference cycles retired this tick.
 	WorkDone float64
 	// Saturated reports whether any core had more demand than capacity
@@ -120,13 +156,18 @@ type TickResult struct {
 // offline cores. New and displaced tasks go to the least-loaded core,
 // mirroring the kernel load balancer.
 func (s *Sched) rebalance(cluster *platform.Cluster) {
-	load := [platform.CoresPerCluster]float64{}
+	n := cluster.NumCores()
+	s.grow(n)
+	load := s.load[:n]
+	for i := range load {
+		load[i] = 0
+	}
 	displaced := s.displaced[:0]
 	for _, t := range s.tasks {
 		if t.Done {
 			continue
 		}
-		if t.core >= 0 && cluster.CoreOnline(t.core) {
+		if t.core >= 0 && t.core < n && cluster.CoreOnline(t.core) {
 			load[t.core] += t.Demand(s.now)
 		} else {
 			displaced = append(displaced, t)
@@ -143,7 +184,7 @@ func (s *Sched) rebalance(cluster *platform.Cluster) {
 	}
 	for _, t := range displaced {
 		best, bestLoad := -1, math.Inf(1)
-		for c := 0; c < platform.CoresPerCluster; c++ {
+		for c := 0; c < n; c++ {
 			if !cluster.CoreOnline(c) {
 				continue
 			}
@@ -182,10 +223,11 @@ func (s *Sched) Tick(dt float64, cluster *platform.Cluster) TickResult {
 		return res
 	}
 	s.rebalance(cluster)
+	n := cluster.NumCores()
 	rho := cluster.Freq().Hz() * cluster.IPC / workload.RefCapacity // speed ratio
 
 	// Group runnable tasks per core (reusing the per-core buffers).
-	perCore := &s.perCore
+	perCore := s.perCore[:n]
 	for c := range perCore {
 		perCore[c] = perCore[c][:0]
 	}
@@ -195,10 +237,14 @@ func (s *Sched) Tick(dt float64, cluster *platform.Cluster) TickResult {
 		}
 		perCore[t.core] = append(perCore[t.core], t)
 	}
+	res.CoreUtil = s.coreUtil[:n]
+	for i := range res.CoreUtil {
+		res.CoreUtil[i] = 0
+	}
 	coreTime := func(t *Task) float64 {
 		return t.Demand(s.now) * ((1-t.MemBound)/rho + t.MemBound)
 	}
-	for c := 0; c < platform.CoresPerCluster; c++ {
+	for c := 0; c < n; c++ {
 		if len(perCore[c]) == 0 {
 			continue
 		}

@@ -13,7 +13,7 @@ func constDemand(d float64) func(float64) float64 {
 }
 
 func bigCluster() *platform.Cluster {
-	c := platform.NewCluster(platform.BigCluster, platform.BigDomain(), 1.0)
+	c := platform.NewCluster(platform.BigCluster, platform.BigDomain(), 1.0, platform.CoresPerCluster)
 	if err := c.SetFreq(1600000); err != nil {
 		panic(err)
 	}
@@ -200,7 +200,7 @@ func TestMigrateAllReassigns(t *testing.T) {
 	if task.Core() != -1 {
 		t.Fatal("MigrateAll should unassign tasks")
 	}
-	little := platform.NewCluster(platform.LittleCluster, platform.LittleDomain(), 0.4)
+	little := platform.NewCluster(platform.LittleCluster, platform.LittleDomain(), 0.4, platform.CoresPerCluster)
 	s.Tick(0.1, little)
 	if task.Core() < 0 {
 		t.Fatal("task not re-placed after migration")
@@ -210,7 +210,7 @@ func TestMigrateAllReassigns(t *testing.T) {
 func TestLittleClusterLowerCapacity(t *testing.T) {
 	s := NewSched()
 	s.Add(&Task{Name: "t", Demand: constDemand(0.3), WorkLeft: math.Inf(1)})
-	little := platform.NewCluster(platform.LittleCluster, platform.LittleDomain(), 0.4)
+	little := platform.NewCluster(platform.LittleCluster, platform.LittleDomain(), 0.4, platform.CoresPerCluster)
 	if err := little.SetFreq(1200000); err != nil {
 		t.Fatal(err)
 	}

@@ -522,12 +522,13 @@ func DominantEigenvalue(m *Mat, iters int) float64 {
 		return 0
 	}
 	v := make([]float64, n)
+	w := make([]float64, n)
 	for i := range v {
 		v[i] = 1 / math.Sqrt(float64(n))
 	}
 	lambda := 0.0
 	for it := 0; it < iters; it++ {
-		w := m.MulVec(v)
+		m.MulVecInto(w, v)
 		norm := 0.0
 		for _, x := range w {
 			norm += x * x

@@ -1,0 +1,216 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/thermal"
+)
+
+// DefaultName is the registry name of the paper's evaluation board — the
+// platform every zero-value API (NewChip, sim.NewRunner, repro.NewDevice)
+// simulates.
+const DefaultName = "exynos5410"
+
+// ClusterSpec describes one CPU cluster of a platform: its core count, the
+// relative instructions-per-cycle factor of the performance model (the
+// Exynos 5410's Cortex-A15 is the 1.0 reference), and the DVFS domain
+// table shared by every core in the cluster.
+type ClusterSpec struct {
+	Cores  int
+	IPC    float64
+	Domain Domain
+}
+
+// LeakageSpec is the platform-data form of the condensed leakage law of
+// Equation 4.2 (see power.LeakageParams, which it converts to):
+//
+//	I_leak(T) = C1 * T^2 * exp(C2 / T) + IGate      (T in kelvin)
+type LeakageSpec struct {
+	C1    float64 // A/K^2
+	C2    float64 // K (negative: leakage grows with temperature)
+	IGate float64 // A, gate-leakage floor
+	VNom  float64 // volts, nominal voltage the parameters were extracted at
+}
+
+// DomainPowerSpec holds one power domain's ground-truth constants.
+type DomainPowerSpec struct {
+	Leak LeakageSpec
+	// AlphaC is the nominal activity-factor x switching-capacitance product
+	// (farads) at 100% utilization. Per core for CPU clusters, total for
+	// GPU and memory. Zero for domains without a dynamic-power component
+	// (memory, or an absent little cluster).
+	AlphaC float64
+}
+
+// PowerSpec is the ground-truth power model data of a platform: the
+// "silicon" constants the simulated sensors observe. Domains follow the
+// canonical P-vector layout of Eq. 5.3 (big, little, GPU, mem); a platform
+// without a little cluster leaves that slot zeroed.
+type PowerSpec struct {
+	Domains [NumResources]DomainPowerSpec
+	// MemStatic is the always-on DRAM background power in watts.
+	MemStatic float64
+	// MemPerActivity converts combined CPU+GPU memory traffic activity
+	// (0..~2) into watts.
+	MemPerActivity float64
+	// Base is the rest-of-platform power (display, WiFi, board) in watts,
+	// included in the external power-meter reading only.
+	Base float64
+	// BaseBoardHeat is the fraction of Base (in watts) dissipated inside
+	// the enclosure close enough to the SoC to heat the board node.
+	BaseBoardHeat float64
+	// FanMax is the fan power draw at 100% speed in watts (0 on fanless
+	// platforms).
+	FanMax float64
+}
+
+// Descriptor is a complete data description of one simulated platform:
+// everything the simulator stack (power ground truth, RC thermal network,
+// sensors, kernel, governors, DTPM) needs to model a device is a field
+// here, so supporting a new SoC means registering a value, not editing
+// simulation code.
+//
+// Descriptors are immutable once registered: every layer shares the
+// registered pointer (the DVFS tables in particular are aliased by every
+// Chip built from it) and nothing may write through it.
+type Descriptor struct {
+	// Name is the registry key (lowercase, stable across releases).
+	Name string
+	// Title is the human-readable board/SoC description.
+	Title string
+	// Big is the primary (sensor-bearing) CPU cluster. Its core count is
+	// also the hotspot-node count of the thermal network and the order of
+	// the identified thermal model.
+	Big ClusterSpec
+	// Little is the companion cluster, or nil on single-cluster platforms
+	// (the DTPM degradation ladder skips cluster migration when absent).
+	Little *ClusterSpec
+	// GPU is the GPU DVFS domain.
+	GPU Domain
+	// Power holds the ground-truth power-model constants.
+	Power PowerSpec
+	// Thermal is the lumped RC network: node count, conductances,
+	// capacitances, floorplan adjacency, per-core asymmetry, fan coupling.
+	Thermal thermal.Params
+	// Fan is the stock fan-controller ladder, or nil on fanless platforms.
+	Fan *thermal.FanSpec
+}
+
+// HasLittle reports whether the platform has a companion cluster.
+func (d *Descriptor) HasLittle() bool { return d.Little != nil }
+
+// MaxClusterCores returns the largest core count across clusters (the size
+// the scheduler's per-core structures must accommodate).
+func (d *Descriptor) MaxClusterCores() int {
+	n := d.Big.Cores
+	if d.Little != nil && d.Little.Cores > n {
+		n = d.Little.Cores
+	}
+	return n
+}
+
+// validateLadder checks one DVFS table: non-empty, strictly increasing in
+// frequency AND voltage (a descending or flat ladder is always a data bug).
+func validateLadder(name string, d *Domain) error {
+	if len(d.OPPs) == 0 {
+		return fmt.Errorf("platform: %s: empty OPP table", name)
+	}
+	for i, o := range d.OPPs {
+		if o.Freq <= 0 {
+			return fmt.Errorf("platform: %s: OPP %d frequency %d not positive", name, i, o.Freq)
+		}
+		if o.Volt <= 0 {
+			return fmt.Errorf("platform: %s: OPP %d voltage %g not positive", name, i, o.Volt)
+		}
+		if i == 0 {
+			continue
+		}
+		if o.Freq <= d.OPPs[i-1].Freq {
+			return fmt.Errorf("platform: %s: frequency ladder not strictly increasing at step %d", name, i)
+		}
+		if o.Volt <= d.OPPs[i-1].Volt {
+			return fmt.Errorf("platform: %s: voltage ladder not strictly increasing at step %d", name, i)
+		}
+	}
+	return nil
+}
+
+func validateCluster(name string, c *ClusterSpec) error {
+	if c.Cores < 1 {
+		return fmt.Errorf("platform: %s: core count %d", name, c.Cores)
+	}
+	if c.IPC <= 0 {
+		return fmt.Errorf("platform: %s: IPC %g not positive", name, c.IPC)
+	}
+	return validateLadder(name, &c.Domain)
+}
+
+// Validate checks every structural invariant of the descriptor: monotone
+// ladders, consistent domain/core counts, physical power constants, a
+// well-formed thermal network whose RC eigenvalues are all negative, and
+// fan consistency (a fanless platform must not carry fan conductance or
+// fan power). Register refuses descriptors that fail it.
+func (d *Descriptor) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("platform: descriptor missing name")
+	}
+	if err := validateCluster(d.Name+"/big", &d.Big); err != nil {
+		return err
+	}
+	if d.Little != nil {
+		if err := validateCluster(d.Name+"/little", d.Little); err != nil {
+			return err
+		}
+	}
+	if err := validateLadder(d.Name+"/gpu", &d.GPU); err != nil {
+		return err
+	}
+	if got := d.Thermal.Cores(); got != d.Big.Cores {
+		return fmt.Errorf("platform: %s: thermal network has %d hotspot nodes for %d big cores (the sensors sit on the big cluster)", d.Name, got, d.Big.Cores)
+	}
+	if n := len(d.Thermal.CoreAsym); n != 0 && n != d.Big.Cores {
+		return fmt.Errorf("platform: %s: CoreAsym has %d entries for %d cores", d.Name, n, d.Big.Cores)
+	}
+	if err := d.Thermal.Validate(); err != nil {
+		return fmt.Errorf("platform: %s: %w", d.Name, err)
+	}
+	for _, ev := range d.Thermal.StabilityEigenvalues() {
+		if ev >= 0 {
+			return fmt.Errorf("platform: %s: thermal network unstable (RC eigenvalue %g >= 0)", d.Name, ev)
+		}
+	}
+	for r := Resource(0); r < NumResources; r++ {
+		dp := d.Power.Domains[r]
+		if r == Little && d.Little == nil {
+			continue // absent domain: constants unused
+		}
+		if dp.Leak.VNom <= 0 {
+			return fmt.Errorf("platform: %s: %s leakage VNom %g not positive", d.Name, r, dp.Leak.VNom)
+		}
+		if dp.Leak.C1 <= 0 || dp.Leak.C2 >= 0 || dp.Leak.IGate < 0 {
+			return fmt.Errorf("platform: %s: %s leakage law unphysical (C1 %g, C2 %g, IGate %g)", d.Name, r, dp.Leak.C1, dp.Leak.C2, dp.Leak.IGate)
+		}
+		if dp.AlphaC < 0 {
+			return fmt.Errorf("platform: %s: %s AlphaC negative", d.Name, r)
+		}
+	}
+	if d.Power.MemStatic < 0 || d.Power.MemPerActivity < 0 || d.Power.Base < 0 ||
+		d.Power.BaseBoardHeat < 0 || d.Power.FanMax < 0 {
+		return fmt.Errorf("platform: %s: negative platform power constant", d.Name)
+	}
+	if d.Fan == nil {
+		if d.Power.FanMax != 0 || d.Thermal.GFanMax != 0 || d.Thermal.GFanCoreMax != 0 {
+			return fmt.Errorf("platform: %s: fanless platform declares fan power or fan conductance", d.Name)
+		}
+	} else {
+		f := d.Fan
+		if !(f.OnTemp < f.MidTemp && f.MidTemp < f.HighTemp) {
+			return fmt.Errorf("platform: %s: fan thresholds not ascending", d.Name)
+		}
+		if f.IdleSpeed < 0 || f.IdleSpeed > 1 || f.LowSpeed <= 0 || f.LowSpeed > 1 ||
+			f.MidSpeed <= 0 || f.MidSpeed > 1 || f.Hyst < 0 {
+			return fmt.Errorf("platform: %s: fan duty ladder out of range", d.Name)
+		}
+	}
+	return nil
+}

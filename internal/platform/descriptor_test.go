@@ -1,0 +1,220 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/thermal"
+)
+
+// everyProfile runs f once per registered platform profile. All registry
+// property tests iterate the live registry, so a newly registered profile
+// is covered automatically — no test edits required to onboard a SoC.
+func everyProfile(t *testing.T, f func(t *testing.T, d *Descriptor)) {
+	t.Helper()
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("registry has %d profiles, want at least exynos5410 + 2 more", len(names))
+	}
+	for _, name := range names {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) { f(t, d) })
+	}
+}
+
+func TestProfilesValidate(t *testing.T) {
+	everyProfile(t, func(t *testing.T, d *Descriptor) {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestProfileLaddersStrictlyMonotone: every DVFS ladder of every profile
+// must be strictly increasing in BOTH frequency and voltage — a flat or
+// descending step is always a data-entry bug.
+func TestProfileLaddersStrictlyMonotone(t *testing.T) {
+	everyProfile(t, func(t *testing.T, d *Descriptor) {
+		domains := []*Domain{&d.Big.Domain, &d.GPU}
+		if d.Little != nil {
+			domains = append(domains, &d.Little.Domain)
+		}
+		for _, dom := range domains {
+			for i := 1; i < len(dom.OPPs); i++ {
+				if dom.OPPs[i].Freq <= dom.OPPs[i-1].Freq {
+					t.Errorf("%s: frequency not strictly increasing at step %d", dom.Name, i)
+				}
+				if dom.OPPs[i].Volt <= dom.OPPs[i-1].Volt {
+					t.Errorf("%s: voltage not strictly increasing at step %d", dom.Name, i)
+				}
+			}
+		}
+	})
+}
+
+// TestProfileCountsConsistent: domain/core counts must agree across the
+// descriptor — thermal nodes == big cores, asymmetry entries == big cores,
+// adjacency covers every node symmetrically.
+func TestProfileCountsConsistent(t *testing.T) {
+	everyProfile(t, func(t *testing.T, d *Descriptor) {
+		if d.Thermal.Cores() != d.Big.Cores {
+			t.Errorf("thermal nodes %d != big cores %d", d.Thermal.Cores(), d.Big.Cores)
+		}
+		if n := len(d.Thermal.CoreAsym); n != 0 && n != d.Big.Cores {
+			t.Errorf("CoreAsym has %d entries for %d cores", n, d.Big.Cores)
+		}
+		if d.Little != nil && d.Little.Cores < 1 {
+			t.Errorf("little cluster with %d cores", d.Little.Cores)
+		}
+		if d.MaxClusterCores() < d.Big.Cores {
+			t.Errorf("MaxClusterCores %d < big cores %d", d.MaxClusterCores(), d.Big.Cores)
+		}
+		chip := NewChipFor(d)
+		if chip.BigCluster.NumCores() != d.Big.Cores {
+			t.Errorf("chip big cluster has %d cores, want %d", chip.BigCluster.NumCores(), d.Big.Cores)
+		}
+		if (chip.LittleCluster != nil) != (d.Little != nil) {
+			t.Error("chip little cluster presence disagrees with descriptor")
+		}
+	})
+}
+
+// TestProfileThermalStable: the RC network of every profile must be
+// passively stable — all eigenvalues of the continuous system matrix
+// strictly negative.
+func TestProfileThermalStable(t *testing.T) {
+	everyProfile(t, func(t *testing.T, d *Descriptor) {
+		eigs := d.Thermal.StabilityEigenvalues()
+		if len(eigs) != d.Big.Cores+1 {
+			t.Fatalf("%d eigenvalues for %d nodes", len(eigs), d.Big.Cores+1)
+		}
+		for _, ev := range eigs {
+			if ev >= 0 {
+				t.Errorf("RC eigenvalue %g >= 0: network not dissipative", ev)
+			}
+		}
+	})
+}
+
+// TestProfileQuantizationProperties replays the DVFS-navigation property
+// suite over every ladder of every registered profile, not just the paper
+// tables.
+func TestProfileQuantizationProperties(t *testing.T) {
+	everyProfile(t, func(t *testing.T, d *Descriptor) {
+		domains := []*Domain{&d.Big.Domain, &d.GPU}
+		if d.Little != nil {
+			domains = append(domains, &d.Little.Domain)
+		}
+		check := func(raw uint32, which uint8) bool {
+			dom := domains[int(which)%len(domains)]
+			f := KHz(raw % 3000000)
+			floor, ceil := dom.FloorFreq(f), dom.CeilFreq(f)
+			if dom.IndexOf(floor) < 0 || dom.IndexOf(ceil) < 0 || floor > ceil {
+				return false
+			}
+			if f >= dom.MinFreq() && f <= dom.MaxFreq() && (floor > f || ceil < f) {
+				return false
+			}
+			return dom.StepDown(floor) <= floor && dom.StepUp(ceil) >= ceil
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestProfileFanConsistency: a fanless descriptor must carry no fan
+// conductance or fan power; a fan-bearing one must have an ascending
+// threshold ladder.
+func TestProfileFanConsistency(t *testing.T) {
+	everyProfile(t, func(t *testing.T, d *Descriptor) {
+		if d.Fan == nil {
+			if d.Power.FanMax != 0 || d.Thermal.GFanMax != 0 || d.Thermal.GFanCoreMax != 0 {
+				t.Error("fanless profile declares fan power or conductance")
+			}
+			return
+		}
+		if !(d.Fan.OnTemp < d.Fan.MidTemp && d.Fan.MidTemp < d.Fan.HighTemp) {
+			t.Errorf("fan thresholds not ascending: %+v", d.Fan)
+		}
+	})
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if _, err := ByName("no-such-platform"); err == nil || !strings.Contains(err.Error(), "no-such-platform") {
+		t.Fatalf("unknown platform error = %v", err)
+	}
+	names := Names()
+	if names[0] != DefaultName {
+		t.Fatalf("Names() = %v, want default first", names)
+	}
+	if Default().Name != DefaultName {
+		t.Fatal("Default() returns the wrong descriptor")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndInvalid(t *testing.T) {
+	if err := Register(Default()); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	bad := &Descriptor{Name: "bad-soc"}
+	if err := Register(bad); err == nil {
+		t.Fatal("invalid descriptor accepted")
+	}
+	// Descending voltage ladder must be rejected.
+	d := *Default()
+	d.Name = "bad-volts"
+	dom := d.Big.Domain
+	dom.OPPs = append([]OPP(nil), dom.OPPs...)
+	dom.OPPs[1].Volt = dom.OPPs[0].Volt // flat step
+	d.Big = ClusterSpec{Cores: d.Big.Cores, IPC: d.Big.IPC, Domain: dom}
+	if err := Register(&d); err == nil || !strings.Contains(err.Error(), "voltage ladder") {
+		t.Fatalf("flat voltage ladder: err = %v", err)
+	}
+	// Unstable thermal network (a conductance that pumps heat) rejected.
+	u := *Default()
+	u.Name = "bad-thermal"
+	th := u.Thermal
+	th.CoreAsym = append([]float64(nil), th.CoreAsym...)
+	th.GCoreBoard = -0.08
+	u.Thermal = th
+	if err := Register(&u); err == nil {
+		t.Fatal("negative conductance accepted")
+	}
+	// A fan spec on a platform without fan conductance is inconsistent.
+	f := *Default()
+	f.Name = "bad-fanless"
+	fth := f.Thermal
+	fth.GFanMax, fth.GFanCoreMax = 0, 0
+	f.Thermal = fth
+	f.Fan = nil
+	pw := f.Power
+	pw.FanMax = 0.5
+	f.Power = pw
+	if err := Register(&f); err == nil || !strings.Contains(err.Error(), "fanless") {
+		t.Fatalf("fanless with fan power: err = %v", err)
+	}
+}
+
+// TestThermalSpecZeroValueStillDefaults guards the compatibility contract:
+// thermal.DefaultParams() must describe exactly the exynos5410 profile
+// (the pre-descriptor constants).
+func TestThermalSpecZeroValueStillDefaults(t *testing.T) {
+	def := thermal.DefaultParams()
+	ex := Default().Thermal
+	if def.Cores() != ex.Cores() || def.CCore != ex.CCore || def.CBoard != ex.CBoard ||
+		def.GCoreBoard != ex.GCoreBoard || def.GCoreCore != ex.GCoreCore ||
+		def.GBoardAmb != ex.GBoardAmb || def.GFanMax != ex.GFanMax ||
+		def.GFanCoreMax != ex.GFanCoreMax || def.Ambient != ex.Ambient {
+		t.Fatal("exynos5410 thermal spec drifted from thermal.DefaultParams()")
+	}
+	for i, a := range ex.CoreAsym {
+		if def.CoreAsym[i] != a {
+			t.Fatalf("CoreAsym[%d] drifted", i)
+		}
+	}
+}

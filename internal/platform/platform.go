@@ -1,16 +1,22 @@
-// Package platform models the Samsung Exynos 5410 MPSoC on the Odroid-XU+E
-// board used by the paper (§6.1.1): a big cluster of four ARM Cortex-A15
-// cores, a little cluster of four Cortex-A7 cores, a GPU, and memory.
+// Package platform models the simulated SoCs as data: a registry of
+// platform descriptors (clusters and core counts, DVFS ladders, power
+// domains, ground-truth power constants, RC thermal topology, fan model)
+// plus the runtime Chip/Cluster state machine built from one.
 //
-// The model captures exactly the degrees of freedom the DTPM algorithm
-// controls (§1, §5.2):
+// The default descriptor is the Samsung Exynos 5410 MPSoC on the
+// Odroid-XU+E board used by the paper (§6.1.1): a big cluster of four ARM
+// Cortex-A15 cores, a little cluster of four Cortex-A7 cores, a GPU, and
+// memory; its frequency tables reproduce Tables 6.1-6.3 verbatim. Two more
+// profiles (a fanless single-cluster phone SoC and an 8-big-core tablet)
+// ship in the registry; see docs/platforms.md for how to add one.
 //
-//   - which CPU cluster is active (the board activates only big OR little),
+// The chip model captures exactly the degrees of freedom the DTPM
+// algorithm controls (§1, §5.2):
+//
+//   - which CPU cluster is active (cluster migration: big OR little),
 //   - how many cores of the active cluster are online (hotplug),
 //   - the cluster frequency (all cores in a cluster share one frequency),
 //   - the GPU frequency.
-//
-// Frequency tables reproduce Tables 6.1-6.3 of the paper verbatim.
 package platform
 
 import (
@@ -165,7 +171,10 @@ func (k ClusterKind) String() string {
 	return "little"
 }
 
-// CoresPerCluster is the number of CPU cores in each Exynos 5410 cluster.
+// CoresPerCluster is the number of CPU cores in each Exynos 5410 cluster
+// (the default platform). Other descriptors declare their own counts; code
+// must size per-core structures from the cluster or descriptor, never from
+// this constant.
 const CoresPerCluster = 4
 
 // Cluster models one CPU cluster: a DVFS domain plus per-core hotplug state.
@@ -179,17 +188,28 @@ type Cluster struct {
 	IPC float64
 
 	freq   KHz
-	online [CoresPerCluster]bool
+	online []bool
 }
 
-// NewCluster returns a cluster running all cores at the minimum frequency.
-func NewCluster(kind ClusterKind, domain *Domain, ipc float64) *Cluster {
-	c := &Cluster{Kind: kind, Domain: domain, IPC: ipc, freq: domain.MinFreq()}
+// NewCluster returns a cluster of `cores` cores, all online, running at the
+// minimum frequency.
+func NewCluster(kind ClusterKind, domain *Domain, ipc float64, cores int) *Cluster {
+	c := &Cluster{}
+	c.init(kind, domain, ipc, make([]bool, cores))
+	return c
+}
+
+// init fills a cluster in place (online is the caller-provided hotplug
+// backing, one entry per core, set all-online here).
+func (c *Cluster) init(kind ClusterKind, domain *Domain, ipc float64, online []bool) {
+	*c = Cluster{Kind: kind, Domain: domain, IPC: ipc, freq: domain.MinFreq(), online: online}
 	for i := range c.online {
 		c.online[i] = true
 	}
-	return c
 }
+
+// NumCores returns the cluster's total core count (online or not).
+func (c *Cluster) NumCores() int { return len(c.online) }
 
 // Freq returns the cluster's current frequency.
 func (c *Cluster) Freq() KHz { return c.freq }
@@ -229,7 +249,7 @@ func (c *Cluster) CoreOnline(i int) bool { return c.online[i] }
 // SetCoreOnline hotplugs core i. Turning off the last online core fails:
 // the kernel always keeps at least one CPU online.
 func (c *Cluster) SetCoreOnline(i int, on bool) error {
-	if i < 0 || i >= CoresPerCluster {
+	if i < 0 || i >= len(c.online) {
 		return fmt.Errorf("platform: core index %d out of range", i)
 	}
 	if !on && c.OnlineCount() == 1 && c.online[i] {
@@ -246,26 +266,46 @@ func (c *Cluster) OnlineAll() {
 	}
 }
 
-// Chip is the full Exynos 5410 model. Only one CPU cluster is active at a
-// time (cluster migration, §6.1.1: "The Odroid platform can activate only
-// the big or the little cluster at a given time").
+// Chip is one simulated SoC instance built from a platform descriptor.
+// Only one CPU cluster is active at a time (cluster migration, §6.1.1:
+// "The Odroid platform can activate only the big or the little cluster at
+// a given time"); single-cluster platforms have a nil LittleCluster and
+// the big cluster is always active.
 type Chip struct {
+	Desc          *Descriptor
 	BigCluster    *Cluster
-	LittleCluster *Cluster
+	LittleCluster *Cluster // nil on single-cluster platforms
 	GPUDomain     *Domain
 
 	active  ClusterKind
 	gpuFreq KHz
+
+	// Cluster storage: BigCluster/LittleCluster point here, so a chip is
+	// two allocations (itself + one hotplug backing) regardless of core
+	// counts.
+	bigStore, littleStore Cluster
 }
 
-// NewChip returns a chip in the default boot state: big cluster active at
-// its maximum frequency, all cores online, GPU at its minimum frequency.
-func NewChip() *Chip {
-	c := &Chip{
-		BigCluster:    NewCluster(BigCluster, BigDomain(), 1.0),
-		LittleCluster: NewCluster(LittleCluster, LittleDomain(), 0.4),
-		GPUDomain:     GPUDomainTable(),
-		active:        BigCluster,
+// NewChip returns the default platform (Exynos 5410) in its boot state:
+// big cluster active at its maximum frequency, all cores online, GPU at
+// its minimum frequency.
+func NewChip() *Chip { return NewChipFor(Default()) }
+
+// NewChipFor builds a chip from a descriptor, in the boot state. The
+// descriptor is aliased (DVFS tables are shared, never copied): it must be
+// treated as immutable.
+func NewChipFor(d *Descriptor) *Chip {
+	c := &Chip{Desc: d, GPUDomain: &d.GPU, active: BigCluster}
+	nLittle := 0
+	if d.Little != nil {
+		nLittle = d.Little.Cores
+	}
+	online := make([]bool, d.Big.Cores+nLittle)
+	c.bigStore.init(BigCluster, &d.Big.Domain, d.Big.IPC, online[:d.Big.Cores:d.Big.Cores])
+	c.BigCluster = &c.bigStore
+	if d.Little != nil {
+		c.littleStore.init(LittleCluster, &d.Little.Domain, d.Little.IPC, online[d.Big.Cores:])
+		c.LittleCluster = &c.littleStore
 	}
 	c.gpuFreq = c.GPUDomain.MinFreq()
 	if err := c.BigCluster.SetFreq(c.BigCluster.Domain.MaxFreq()); err != nil {
@@ -274,18 +314,22 @@ func NewChip() *Chip {
 	return c
 }
 
+// HasLittle reports whether the chip has a companion cluster to migrate to.
+func (c *Chip) HasLittle() bool { return c.LittleCluster != nil }
+
 // ActiveKind returns which cluster is currently active.
 func (c *Chip) ActiveKind() ClusterKind { return c.active }
 
 // Active returns the active cluster.
 func (c *Chip) Active() *Cluster {
-	if c.active == BigCluster {
+	if c.active == BigCluster || c.LittleCluster == nil {
 		return c.BigCluster
 	}
 	return c.LittleCluster
 }
 
-// Inactive returns the cluster that is powered down.
+// Inactive returns the cluster that is powered down, or nil on
+// single-cluster platforms.
 func (c *Chip) Inactive() *Cluster {
 	if c.active == BigCluster {
 		return c.LittleCluster
@@ -296,9 +340,13 @@ func (c *Chip) Inactive() *Cluster {
 // SwitchCluster migrates execution to the other cluster kind. The newly
 // active cluster comes up with all cores online at its minimum frequency
 // (the conservative post-migration state); the old cluster powers down.
-// Switching to the already-active kind is a no-op.
+// Switching to the already-active kind — or to a cluster the platform does
+// not have — is a no-op.
 func (c *Chip) SwitchCluster(kind ClusterKind) {
 	if kind == c.active {
+		return
+	}
+	if kind == LittleCluster && c.LittleCluster == nil {
 		return
 	}
 	c.active = kind
@@ -340,15 +388,19 @@ type Snapshot struct {
 	OnlineCores int
 }
 
-// Snapshot returns the current configuration.
+// Snapshot returns the current configuration. LittleFreq is zero on
+// single-cluster platforms.
 func (c *Chip) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Active:      c.active,
 		BigFreq:     c.BigCluster.Freq(),
-		LittleFreq:  c.LittleCluster.Freq(),
 		GPUFreq:     c.gpuFreq,
 		OnlineCores: c.Active().OnlineCount(),
 	}
+	if c.LittleCluster != nil {
+		s.LittleFreq = c.LittleCluster.Freq()
+	}
+	return s
 }
 
 // BigDomain returns the big (A15) cluster DVFS table: the nine steps of

@@ -111,7 +111,7 @@ func TestFloorCeilStep(t *testing.T) {
 }
 
 func TestClusterFreqControl(t *testing.T) {
-	c := NewCluster(BigCluster, BigDomain(), 1.0)
+	c := NewCluster(BigCluster, BigDomain(), 1.0, CoresPerCluster)
 	if err := c.SetFreq(1400000); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestClusterFreqControl(t *testing.T) {
 }
 
 func TestHotplug(t *testing.T) {
-	c := NewCluster(BigCluster, BigDomain(), 1.0)
+	c := NewCluster(BigCluster, BigDomain(), 1.0, CoresPerCluster)
 	if c.OnlineCount() != 4 {
 		t.Fatal("all cores should boot online")
 	}

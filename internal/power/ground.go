@@ -83,8 +83,9 @@ type GroundTruth struct {
 	FanMax float64
 }
 
-// DefaultGroundTruth returns parameters calibrated so that the simulated
-// platform reproduces the paper's measured ranges:
+// DefaultGroundTruth returns the default platform's (Exynos 5410) silicon
+// constants, calibrated so that the simulated platform reproduces the
+// paper's measured ranges:
 //
 //   - big-cluster leakage 0.12 W at 40 °C rising to ~0.33 W at 80 °C at
 //     1.6 GHz/1.25 V (Figures 4.3 and 4.5),
@@ -94,36 +95,25 @@ type GroundTruth struct {
 //     little core at min frequency (§1),
 //   - ~0.7 W of platform-level savings corresponding to the paper's 14%
 //     high-activity figure (§6.3.3).
+//
+// The numbers themselves live in the exynos5410 platform descriptor.
 func DefaultGroundTruth() *GroundTruth {
+	return GroundTruthFor(platform.Default())
+}
+
+// GroundTruthFor builds the silicon power model from a platform
+// descriptor's ground-truth constants.
+func GroundTruthFor(d *platform.Descriptor) *GroundTruth {
 	g := &GroundTruth{
-		MemStatic:      0.12,
-		MemPerActivity: 0.22,
-		Base:           1.5,
-		BaseBoardHeat:  0.45,
-		FanMax:         0.55,
+		MemStatic:      d.Power.MemStatic,
+		MemPerActivity: d.Power.MemPerActivity,
+		Base:           d.Power.Base,
+		BaseBoardHeat:  d.Power.BaseBoardHeat,
+		FanMax:         d.Power.FanMax,
 	}
-	g.Res[platform.Big] = ResourceParams{
-		Leak: LeakageParams{C1: 3.15e-3, C2: -2600, IGate: 0.020, VNom: 1.25},
-		// Per core: 0.38 nF -> 0.95 W/core at 1.6 GHz, 1.25 V, 100% util
-		// (Cortex-A15 cores are power-hungry; the quad cluster peaks around
-		// 4-4.5 W with leakage, consistent with Fig. 4.8's 2.7 W mid-load
-		// swing and the 30x platform dynamic range quoted in Chapter 1).
-		AlphaC: 0.38e-9,
-	}
-	g.Res[platform.Little] = ResourceParams{
-		Leak: LeakageParams{C1: 0.72e-3, C2: -2600, IGate: 0.012, VNom: 1.15},
-		// Per core: ~190 mW at 1.2 GHz, 1.15 V, 100% util (quad ~0.76 W).
-		AlphaC: 0.12e-9,
-	}
-	g.Res[platform.GPU] = ResourceParams{
-		Leak: LeakageParams{C1: 1.3e-3, C2: -2600, IGate: 0.010, VNom: 1.075},
-		// Total: ~0.5 W at 533 MHz, 1.075 V, full utilization.
-		AlphaC: 0.80e-9,
-	}
-	g.Res[platform.Mem] = ResourceParams{
-		// Memory leakage is small and nearly temperature-flat.
-		Leak:   LeakageParams{C1: 0.10e-3, C2: -2600, IGate: 0.004, VNom: 1.2},
-		AlphaC: 0,
+	for r := range g.Res {
+		spec := d.Power.Domains[r]
+		g.Res[r] = ResourceParams{Leak: LeakageParams(spec.Leak), AlphaC: spec.AlphaC}
 	}
 	return g
 }
@@ -206,8 +196,9 @@ func (b Breakdown) String() string {
 // each resource and per-core utilization for the active CPU cluster.
 type ChipActivity struct {
 	// CoreUtil is the utilization [0,1] of each core of the ACTIVE cluster;
-	// offline cores must be 0.
-	CoreUtil [platform.CoresPerCluster]float64
+	// offline cores must be 0. Its length must cover the active cluster's
+	// core count (extra entries are ignored).
+	CoreUtil []float64
 	// CPUActivity is the workload's relative activity factor on the CPU.
 	CPUActivity float64
 	// GPUUtil is the GPU utilization [0,1] and GPUActivity its relative
@@ -220,42 +211,52 @@ type ChipActivity struct {
 	FanSpeed float64
 }
 
-// CorePowers returns the per-core power (W) of the four big-core hotspot
+// CorePowers returns the per-core power (W) of the big-cluster hotspot
 // nodes and the aggregate board-node power (little + GPU + mem + gated
 // residuals) for the thermal network. When the little cluster is active the
 // big cores dissipate only their gated residual and the little cluster's
 // power heats the board node.
-func (g *GroundTruth) CorePowers(chip *platform.Chip, act ChipActivity, coreTemps [4]float64, boardTemp float64) (core [4]float64, board float64) {
+func (g *GroundTruth) CorePowers(chip *platform.Chip, act ChipActivity, coreTemps []float64, boardTemp float64) (core []float64, board float64) {
+	core = make([]float64, chip.BigCluster.NumCores())
+	board = g.CorePowersInto(core, chip, act, coreTemps, boardTemp)
+	return core, board
+}
+
+// CorePowersInto is the allocation-free form of CorePowers: it writes the
+// per-hotspot powers into core (length = big-cluster core count) and
+// returns the board-node power.
+func (g *GroundTruth) CorePowersInto(core []float64, chip *platform.Chip, act ChipActivity, coreTemps []float64, boardTemp float64) (board float64) {
 	b := g.Evaluate(chip, act, coreTemps, boardTemp)
+	nBig := chip.BigCluster.NumCores()
 	if chip.ActiveKind() == platform.BigCluster {
 		active := chip.Active()
 		v := active.Volt()
 		f := active.Freq()
-		for i := 0; i < platform.CoresPerCluster; i++ {
+		for i := 0; i < nBig; i++ {
 			if !active.CoreOnline(i) {
+				core[i] = 0
 				continue
 			}
 			core[i] = g.Dynamic(platform.Big, v, f, act.CoreUtil[i], act.CPUActivity) +
-				g.Leakage(platform.Big, coreTemps[i], v)/platform.CoresPerCluster
+				g.Leakage(platform.Big, coreTemps[i], v)/float64(nBig)
 		}
-		board = b.Domain[platform.Little] + b.Domain[platform.GPU] + b.Domain[platform.Mem] + g.BaseBoardHeat
 	} else {
 		// Big cores gated: split the residual evenly across the hotspots.
-		for i := range core {
-			core[i] = b.Domain[platform.Big] / platform.CoresPerCluster
+		for i := 0; i < nBig; i++ {
+			core[i] = b.Domain[platform.Big] / float64(nBig)
 		}
-		board = b.Domain[platform.Little] + b.Domain[platform.GPU] + b.Domain[platform.Mem] + g.BaseBoardHeat
 	}
-	return core, board
+	board = b.Domain[platform.Little] + b.Domain[platform.GPU] + b.Domain[platform.Mem] + g.BaseBoardHeat
+	return board
 }
 
 // Evaluate computes the ground-truth power breakdown for the given chip
-// configuration, activity, and temperatures. coreTemps are the four big-core
+// configuration, activity, and temperatures. coreTemps are the big-cluster
 // hotspot temperatures (°C) used for big-cluster leakage; boardTemp (°C) is
 // used for the other domains. Per-core leakage uses each core's own hotspot
 // temperature, which is what makes the leakage-temperature loop (§4.1.1)
 // visible to the DTPM algorithm.
-func (g *GroundTruth) Evaluate(chip *platform.Chip, act ChipActivity, coreTemps [4]float64, boardTemp float64) Breakdown {
+func (g *GroundTruth) Evaluate(chip *platform.Chip, act ChipActivity, coreTemps []float64, boardTemp float64) Breakdown {
 	var b Breakdown
 	b.Base = g.Base
 	b.Fan = g.FanPower(act.FanSpeed)
@@ -270,7 +271,8 @@ func (g *GroundTruth) Evaluate(chip *platform.Chip, act ChipActivity, coreTemps 
 	if active.Kind == platform.LittleCluster {
 		res = platform.Little
 	}
-	for i := 0; i < platform.CoresPerCluster; i++ {
+	nc := active.NumCores()
+	for i := 0; i < nc; i++ {
 		if !active.CoreOnline(i) {
 			continue
 		}
@@ -279,7 +281,7 @@ func (g *GroundTruth) Evaluate(chip *platform.Chip, act ChipActivity, coreTemps 
 		if res == platform.Big {
 			t = coreTemps[i]
 		}
-		leak += g.Leakage(res, t, v) / platform.CoresPerCluster
+		leak += g.Leakage(res, t, v) / float64(nc)
 	}
 	b.Domain[res] = dyn + leak
 	b.Leakage[res] = leak

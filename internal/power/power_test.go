@@ -156,14 +156,14 @@ func TestEvaluateBreakdown(t *testing.T) {
 	g := DefaultGroundTruth()
 	chip := platform.NewChip()
 	act := ChipActivity{
-		CoreUtil:    [4]float64{1, 1, 1, 1},
+		CoreUtil:    []float64{1, 1, 1, 1},
 		CPUActivity: 1,
 		GPUUtil:     0.2,
 		GPUActivity: 1,
 		MemTraffic:  0.8,
 		FanSpeed:    0.5,
 	}
-	temps := [4]float64{65, 64, 63, 62}
+	temps := []float64{65, 64, 63, 62}
 	b := g.Evaluate(chip, act, temps, 50)
 	if b.Domain[platform.Big] < 3.2 || b.Domain[platform.Big] > 4.8 {
 		t.Fatalf("big cluster power = %.3f W, want ~4 (quad A15 near full load)", b.Domain[platform.Big])
@@ -185,14 +185,14 @@ func TestEvaluateBreakdown(t *testing.T) {
 func TestEvaluateOfflineCoresDrawNoDynamic(t *testing.T) {
 	g := DefaultGroundTruth()
 	chip := platform.NewChip()
-	act := ChipActivity{CoreUtil: [4]float64{1, 1, 1, 1}, CPUActivity: 1}
-	full := g.Evaluate(chip, act, [4]float64{60, 60, 60, 60}, 50)
+	act := ChipActivity{CoreUtil: []float64{1, 1, 1, 1}, CPUActivity: 1}
+	full := g.Evaluate(chip, act, []float64{60, 60, 60, 60}, 50)
 	for i := 1; i < 4; i++ {
 		if err := chip.Active().SetCoreOnline(i, false); err != nil {
 			t.Fatal(err)
 		}
 	}
-	one := g.Evaluate(chip, act, [4]float64{60, 60, 60, 60}, 50)
+	one := g.Evaluate(chip, act, []float64{60, 60, 60, 60}, 50)
 	if one.Domain[platform.Big] >= full.Domain[platform.Big]/2 {
 		t.Fatalf("1-core power %.3f should be well under 4-core %.3f", one.Domain[platform.Big], full.Domain[platform.Big])
 	}
@@ -202,9 +202,9 @@ func TestEvaluateLittleClusterUsesBoardTemp(t *testing.T) {
 	g := DefaultGroundTruth()
 	chip := platform.NewChip()
 	chip.SwitchCluster(platform.LittleCluster)
-	act := ChipActivity{CoreUtil: [4]float64{1, 1, 1, 1}, CPUActivity: 1}
-	cold := g.Evaluate(chip, act, [4]float64{90, 90, 90, 90}, 40)
-	hot := g.Evaluate(chip, act, [4]float64{90, 90, 90, 90}, 70)
+	act := ChipActivity{CoreUtil: []float64{1, 1, 1, 1}, CPUActivity: 1}
+	cold := g.Evaluate(chip, act, []float64{90, 90, 90, 90}, 40)
+	hot := g.Evaluate(chip, act, []float64{90, 90, 90, 90}, 70)
 	if hot.Domain[platform.Little] <= cold.Domain[platform.Little] {
 		t.Fatal("little leakage should track board temperature")
 	}

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/governor"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -137,6 +138,36 @@ func (s Spec) Validate() error {
 	}
 	if total := s.SoakS + float64(repeat)*cycle; total > MaxDuration {
 		return fmt.Errorf("scenario %s: total duration %.0f s exceeds the limit of %d s", s.Name, total, MaxDuration)
+	}
+	return nil
+}
+
+// ValidateFor checks the spec against one platform profile on top of the
+// platform-independent Validate: every phase's workload must be
+// schedulable on the platform without permanent oversubscription (thread
+// count at most twice the widest cluster — beyond that the phase can never
+// retire its demand and its metrics are meaningless). A nil descriptor
+// validates against the default platform.
+func ValidateFor(s Spec, d *platform.Descriptor) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if d == nil {
+		d = platform.Default()
+	}
+	maxThreads := 2 * d.MaxClusterCores()
+	for i, p := range s.Phases {
+		if p.idle() {
+			continue
+		}
+		b, err := workload.ByName(p.Benchmark)
+		if err != nil {
+			return fmt.Errorf("scenario %s: phase %d (%s): %w", s.Name, i, p.Name, err)
+		}
+		if b.Threads > maxThreads {
+			return fmt.Errorf("scenario %s: phase %d (%s): benchmark %s needs %d threads but platform %s schedules at most %d (2x its widest cluster)",
+				s.Name, i, p.Name, b.Name, b.Threads, d.Name, maxThreads)
+		}
 	}
 	return nil
 }

@@ -70,13 +70,21 @@ func (b *Bank) ReadTemp(trueC float64) float64 {
 	return quantize(v, b.cfg.TempQuantum)
 }
 
-// ReadCoreTemps reads the four big-core hotspot sensors.
-func (b *Bank) ReadCoreTemps(trueC [4]float64) [4]float64 {
-	var out [4]float64
+// ReadCoreTemps reads the big-cluster hotspot sensors, one per core node.
+func (b *Bank) ReadCoreTemps(trueC []float64) []float64 {
+	out := make([]float64, len(trueC))
+	return b.ReadCoreTempsInto(out, trueC)
+}
+
+// ReadCoreTempsInto is the allocation-free form of ReadCoreTemps: it reads
+// len(trueC) sensors into dst (which must be at least that long) and
+// returns dst[:len(trueC)]. The per-step simulation loop uses this.
+func (b *Bank) ReadCoreTempsInto(dst, trueC []float64) []float64 {
+	dst = dst[:len(trueC)]
 	for i, t := range trueC {
-		out[i] = b.ReadTemp(t)
+		dst[i] = b.ReadTemp(t)
 	}
-	return out
+	return dst
 }
 
 // ReadPower returns one power reading for a true value (W). Readings are

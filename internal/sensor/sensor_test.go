@@ -85,7 +85,7 @@ func TestPowerNeverNegative(t *testing.T) {
 
 func TestReadCoreTemps(t *testing.T) {
 	b := NewBank(IdealConfig(), 1)
-	got := b.ReadCoreTemps([4]float64{50, 51, 52, 53})
+	got := b.ReadCoreTemps([]float64{50, 51, 52, 53})
 	for i, want := range []float64{50, 51, 52, 53} {
 		if got[i] != want {
 			t.Fatalf("core %d = %v, want %v", i, got[i], want)

@@ -27,6 +27,7 @@ func (r *Runner) Characterize(seed int64) (*Characterization, error) {
 // running the control loop at periods other than the paper's 100 ms.
 func (r *Runner) CharacterizeWithTs(seed int64, ts float64) (*Characterization, error) {
 	rig := &sysid.Rig{
+		Desc:    r.Desc,
 		GT:      r.GT,
 		Thermal: r.Thermal,
 		Sensors: sensor.NewBank(r.Sensors, seed),

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// testPlatformRun characterizes a platform and runs one benchmark under
+// every policy — the end-to-end proof that the whole stack (power ground
+// truth, RC network, sensors, kernel, governors, DTPM) sizes itself from
+// the descriptor.
+func testPlatformRun(t *testing.T, name string) {
+	t.Helper()
+	desc, err := platform.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerFor(desc)
+	ch, err := r.Characterize(1)
+	if err != nil {
+		t.Fatalf("%s: characterize: %v", name, err)
+	}
+	if got := ch.Thermal.States(); got != desc.Big.Cores {
+		t.Fatalf("%s: identified model order %d, want %d (one state per big core)", name, got, desc.Big.Cores)
+	}
+	if !ch.Thermal.Stable() {
+		t.Fatalf("%s: identified model unstable", name)
+	}
+	bench, err := workload.ByName("dijkstra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range Policies() {
+		res, err := r.Run(Options{
+			Policy: pol, Bench: bench, Seed: 1,
+			Model: ch.Thermal, PowerModel: ch.Power,
+		})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", name, pol, err)
+		}
+		if !res.Completed {
+			t.Errorf("%s/%s: run did not complete", name, pol)
+		}
+		if math.IsNaN(res.AvgPower) || res.AvgPower <= 0 {
+			t.Errorf("%s/%s: average power %v", name, pol, res.AvgPower)
+		}
+		if math.IsNaN(res.MaxTemp) || res.MaxTemp < 20 || res.MaxTemp > 150 {
+			t.Errorf("%s/%s: max temperature %v out of physical range", name, pol, res.MaxTemp)
+		}
+	}
+}
+
+func TestFanlessPhoneEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	testPlatformRun(t, "fanless-phone")
+}
+
+func TestTablet8BigEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	testPlatformRun(t, "tablet-8big")
+}
+
+// TestFanlessPlatformNeverSpinsAFan pins the fanless semantics: the
+// with-fan policy must not cool (or spend fan power) on a platform with no
+// fan — its trace must match the without-fan policy exactly.
+func TestFanlessPlatformNeverSpinsAFan(t *testing.T) {
+	desc, err := platform.ByName("fanless-phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerFor(desc)
+	bench, err := workload.ByName("dijkstra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFan, err := r.Run(Options{Policy: PolicyFan, Bench: bench, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFan, err := r.Run(Options{Policy: PolicyNoFan, Bench: bench, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withFan.AvgPower != noFan.AvgPower || withFan.MaxTemp != noFan.MaxTemp || withFan.ExecTime != noFan.ExecTime {
+		t.Errorf("with-fan differs from without-fan on a fanless platform: %+v vs %+v",
+			withFan, noFan)
+	}
+}
+
+// TestModelPlatformMismatchRejected pins the cross-platform guard: models
+// identified on one platform must not silently drive another of a
+// different order.
+func TestModelPlatformMismatchRejected(t *testing.T) {
+	exynos := NewRunner()
+	ch, err := exynos.Characterize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablet, err := platform.ByName("tablet-8big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := workload.ByName("dijkstra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewRunnerFor(tablet).Run(Options{
+		Policy: PolicyDTPM, Bench: bench, Seed: 1,
+		Model: ch.Thermal, PowerModel: ch.Power,
+	})
+	if err == nil {
+		t.Fatal("4-state exynos model accepted on the 8-node tablet platform")
+	}
+}
+
+// TestSingleClusterNeverMigrates: the DTPM ladder on a platform without a
+// little cluster must stay on the big cluster no matter how hopeless the
+// thermal situation gets.
+func TestSingleClusterNeverMigrates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	desc, err := platform.ByName("fanless-phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerFor(desc)
+	ch, err := r.Characterize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := workload.ByName("matrixmult") // hottest multi-thread load
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(Options{
+		Policy: PolicyDTPM, Bench: bench, Seed: 2, TMax: 55,
+		Model: ch.Thermal, PowerModel: ch.Power, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := res.Rec.Series("cluster")
+	if clusters == nil || clusters.Len() == 0 {
+		t.Fatal("no cluster series recorded")
+	}
+	for i, v := range clusters.Vals {
+		if v != float64(platform.BigCluster) {
+			t.Fatalf("single-cluster platform migrated to cluster %v at t=%v", v, clusters.Times[i])
+		}
+	}
+}

@@ -175,6 +175,10 @@ type Result struct {
 // internally locked) or cloned before use (Options.PowerModel). The
 // campaign engine relies on this to fan cells out across a worker pool.
 type Runner struct {
+	// Desc is the platform under simulation (nil = the default Exynos
+	// 5410; NewRunnerFor sets it). GT and Thermal must describe the same
+	// platform.
+	Desc    *platform.Descriptor
 	GT      *power.GroundTruth
 	Thermal thermal.Params
 	Sensors sensor.Config
@@ -183,13 +187,50 @@ type Runner struct {
 	idleState thermal.State
 }
 
-// NewRunner returns the default device.
-func NewRunner() *Runner {
+// NewRunner returns the default device (the paper's Odroid-XU+E board).
+func NewRunner() *Runner { return NewRunnerFor(platform.Default()) }
+
+// NewRunnerFor returns a simulated device for any registered platform
+// descriptor: the ground-truth power model, RC thermal network, fan, and
+// every per-core buffer in the simulation stack size themselves from it.
+func NewRunnerFor(d *platform.Descriptor) *Runner {
 	return &Runner{
-		GT:      power.DefaultGroundTruth(),
-		Thermal: thermal.DefaultParams(),
+		Desc:    d,
+		GT:      power.GroundTruthFor(d),
+		Thermal: d.Thermal,
 		Sensors: sensor.DefaultConfig(),
 	}
+}
+
+// desc resolves the platform descriptor (nil field = default platform, so
+// a zero-initialized &Runner{GT: ..., Thermal: ...} keeps working).
+func (r *Runner) desc() *platform.Descriptor {
+	if r.Desc != nil {
+		return r.Desc
+	}
+	return platform.Default()
+}
+
+// bgTaskName returns the name of background task i without allocating for
+// the common core counts.
+func bgTaskName(i int) string {
+	const names = "bg-0\x00bg-1\x00bg-2\x00bg-3\x00bg-4\x00bg-5\x00bg-6\x00bg-7"
+	if i < 8 {
+		return names[i*5 : i*5+4]
+	}
+	return fmt.Sprintf("bg-%d", i)
+}
+
+// idleCoreUtil returns the light background utilization pattern of an idle
+// device: the paper platform's {5%, 3%, 3%, 2%} pattern, cycled across
+// however many big cores the platform has.
+func idleCoreUtil(cores int) []float64 {
+	base := [4]float64{0.05, 0.03, 0.03, 0.02}
+	out := make([]float64, cores)
+	for i := range out {
+		out[i] = base[i%4]
+	}
+	return out
 }
 
 // groundTruthPowerModel builds a power.Model from the ground-truth leakage
@@ -212,12 +253,12 @@ func (r *Runner) IdleState() thermal.State {
 }
 
 func (r *Runner) computeIdleState() thermal.State {
-	chip := platform.NewChip()
+	chip := platform.NewChipFor(r.desc())
 	if err := chip.Active().SetFreq(chip.Active().Domain.MinFreq()); err != nil {
 		panic(err)
 	}
 	sim := thermal.NewSim(r.Thermal)
-	act := power.ChipActivity{CoreUtil: [4]float64{0.05, 0.03, 0.03, 0.02}, CPUActivity: 1, MemTraffic: 0.05}
+	act := power.ChipActivity{CoreUtil: idleCoreUtil(chip.BigCluster.NumCores()), CPUActivity: 1, MemTraffic: 0.05}
 	st := sim.State()
 	for i := 0; i < 4; i++ {
 		core, board := r.GT.CorePowers(chip, act, st.Core, st.Board)
@@ -254,13 +295,34 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 	}
 	gpuGov := governor.NewGPU()
 
-	chip := platform.NewChip()
+	desc := r.desc()
+	chip := platform.NewChipFor(desc)
+	nodes := chip.BigCluster.NumCores() // hotspot/sensor node count
+	maxCores := desc.MaxClusterCores()
 	tsim := thermal.NewSim(r.Thermal)
 	tsim.SetState(r.IdleState())
 	bank := sensor.NewBank(r.Sensors, opt.Seed)
-	fan := thermal.NewFanController()
+	// Fanless platforms have no controller: the with-fan policy degenerates
+	// to the plain governor and fan speed stays 0.
+	var fan *thermal.FanController
+	if desc.Fan != nil {
+		fan = thermal.NewFanControllerFor(*desc.Fan)
+	}
 	reactive := dtpm.NewReactiveHeuristic()
 
+	if opt.Model != nil {
+		if opt.Model.States() != nodes {
+			return nil, fmt.Errorf("sim: thermal model order %d does not match platform %s (%d hotspot nodes) — characterize the same platform the run uses",
+				opt.Model.States(), desc.Name, nodes)
+		}
+		// Same order is not enough: two profiles can both carry, say, four
+		// hotspots while their silicon constants differ completely. A model
+		// stamped with its origin platform must only drive that platform.
+		if opt.Model.Platform != "" && opt.Model.Platform != desc.Name {
+			return nil, fmt.Errorf("sim: thermal model was identified on platform %s, refusing to drive %s with it",
+				opt.Model.Platform, desc.Name)
+		}
+	}
 	var ctrl *dtpm.Controller
 	if opt.Policy == PolicyDTPM {
 		if opt.Model == nil {
@@ -289,15 +351,23 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 
 	// Workload setup: worker threads plus the Android background load.
 	// Script workers are open-ended (the script decides when they idle);
-	// benchmark workers carry the finite foreground work.
+	// benchmark workers carry the finite foreground work. All tasks of a
+	// run live in one batch allocation.
 	sched := kernel.NewSched()
 	var gen *workload.Generator
 	var scriptTasks []*kernel.Task
 	var scriptDemandNames []string
+	nWorkers := opt.Bench.Threads
 	if opt.Script != nil {
-		for i := 0; i < opt.Script.Workers(); i++ {
+		nWorkers = opt.Script.Workers()
+	}
+	sched.Reserve(nWorkers+nodes, maxCores)
+	taskPool := make([]kernel.Task, nWorkers+nodes)
+	if opt.Script != nil {
+		for i := 0; i < nWorkers; i++ {
 			i := i
-			tk := &kernel.Task{
+			tk := &taskPool[i]
+			*tk = kernel.Task{
 				Name:     fmt.Sprintf("%s-w%d", opt.Script.Name(), i),
 				Demand:   func(t float64) float64 { return opt.Script.WorkerDemand(i, t) },
 				WorkLeft: math.Inf(1),
@@ -310,25 +380,28 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		}
 	} else {
 		gen = workload.NewGenerator(opt.Bench)
-		for i := 0; i < opt.Bench.Threads; i++ {
-			sched.Add(&kernel.Task{
-				Name:     fmt.Sprintf("%s-%d", opt.Bench.Name, i),
+		for i := 0; i < nWorkers; i++ {
+			taskPool[i] = kernel.Task{
+				Name:     opt.Bench.Name,
 				Demand:   gen.DemandAt,
 				MemBound: opt.Bench.MemBound,
 				WorkLeft: opt.Bench.WorkPerThread,
-			})
+			}
+			sched.Add(&taskPool[i])
 		}
 	}
-	bg := workload.NewBackground(opt.Seed + 77)
+	bg := workload.NewBackgroundN(opt.Seed+77, nodes)
 	bgUtil := bg.UtilAt()
-	for i := 0; i < 4; i++ {
+	for i := 0; i < nodes; i++ {
 		i := i
-		sched.Add(&kernel.Task{
-			Name:     fmt.Sprintf("bg-%d", i),
+		tk := &taskPool[nWorkers+i]
+		*tk = kernel.Task{
+			Name:     bgTaskName(i),
 			Demand:   func(float64) float64 { return bgUtil[i] },
 			MemBound: 0.3,
 			WorkLeft: math.Inf(1),
-		})
+		}
+		sched.Add(tk)
 	}
 
 	res := &Result{Bench: opt.Bench.Name, Policy: opt.Policy}
@@ -346,26 +419,40 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		horizon = 10 // 1 s at 100 ms
 	}
 	// Allocation-reuse invariant: everything the per-step loop touches is
-	// either a fixed-size value or preallocated here at full capacity, so
-	// the hot loop itself performs no heap allocation (BenchmarkSimCell*
-	// in the repo root tracks this with -benchmem). Keep it that way when
-	// adding per-step state.
+	// either a fixed-size value or preallocated here at full capacity —
+	// sized from the platform descriptor, not from constants — so the hot
+	// loop itself performs no heap allocation (BenchmarkSimCell* in the
+	// repo root tracks this with -benchmem). Keep it that way when adding
+	// per-step state.
 	steps := int(opt.MaxDuration/dt) + 1
+	// One flat backing array for every per-step vector buffer.
+	flat := make([]float64, maxCores+3*nodes)
 	var (
-		prevUtil    [4]float64
+		prevUtil    = flat[0:maxCores:maxCores]
 		prevGPUUtil float64
 		prevPowers  [platform.NumResources]float64
 		energy      float64
+		sensedTemps = flat[maxCores : maxCores+nodes : maxCores+nodes]
+		corePow     = flat[maxCores+nodes : maxCores+2*nodes : maxCores+2*nodes]
+		// per-step thermal state snapshot buffer
+		st = thermal.State{Core: flat[maxCores+2*nodes : maxCores+3*nodes : maxCores+3*nodes]}
 	)
 	maxTempSeries := make([]float64, 0, steps)
-	// prediction accounting ring: one fixed-size entry per step
-	var predRing [][sysid.NumStates]float64
+	// Prediction accounting ring: model-order values per step, stored flat.
+	var (
+		predRing  []float64
+		predStep  []float64
+		predictor *sysid.Predictor
+	)
 	if opt.Model != nil {
-		predRing = make([][sysid.NumStates]float64, 0, steps)
+		predRing = make([]float64, 0, steps*nodes)
+		predStep = make([]float64, nodes)
+		predictor = opt.Model.NewPredictor()
 	}
 	// Initialize the power observation with an idle reading.
 	idleAct := power.ChipActivity{CoreUtil: prevUtil, CPUActivity: 1}
-	b0 := r.GT.Evaluate(chip, idleAct, tsim.State().Core, tsim.State().Board)
+	tsim.StateInto(&st)
+	b0 := r.GT.Evaluate(chip, idleAct, st.Core, st.Board)
 	prevPowers = b0.Domain
 
 	elapsed := 0.0
@@ -404,8 +491,8 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 				res.Rec.Record("gov_id", elapsed, float64(governor.Index(govName)))
 			}
 		}
-		st := tsim.State()
-		sensedTemps := bank.ReadCoreTemps(st.Core)
+		tsim.StateInto(&st)
+		bank.ReadCoreTempsInto(sensedTemps, st.Core)
 		sensedPowers := bank.ReadDomainPowers(prevPowers)
 		maxSensed := sensedTemps[0]
 		for _, t := range sensedTemps[1:] {
@@ -424,7 +511,9 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		effGPU := gpuWant
 		switch opt.Policy {
 		case PolicyFan:
-			fanSpeed = fan.Update(maxSensed)
+			if fan != nil {
+				fanSpeed = fan.Update(maxSensed)
+			}
 		case PolicyNoFan:
 			// governor only
 		case PolicyReactive:
@@ -489,9 +578,8 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		// Prediction-accuracy accounting: predict the hottest core 1 s
 		// ahead from the current sensed state under current power.
 		if opt.Model != nil {
-			var pred [sysid.NumStates]float64
-			opt.Model.PredictConstInto(pred[:], sensedTemps[:], sensedPowers[:], horizon)
-			predRing = append(predRing, pred)
+			pred := predictor.PredictConstInto(predStep, sensedTemps, sensedPowers[:], horizon)
+			predRing = append(predRing, pred...)
 			if res.Rec != nil {
 				// Timestamp at the instant the prediction refers to, so the
 				// series overlays the measured trace (Figure 4.9). Scripted
@@ -503,14 +591,19 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 				if opt.Script != nil {
 					predT = elapsed
 				}
-				res.Rec.Record("predmax_c", predT, stats.Max(pred[:]))
+				res.Rec.Record("predmax_c", predT, stats.Max(pred))
 			}
 		}
 
 		// Advance the workload and refresh the background levels.
 		bgUtil = bg.UtilAt()
 		tick := sched.Tick(dt, active)
-		prevUtil = tick.CoreUtil
+		// Copy the realized utilization (the tick buffer is reused): the
+		// tail beyond the active cluster's width is zeroed so a cluster
+		// migration never leaves stale readings for the governor.
+		for i := copy(prevUtil, tick.CoreUtil); i < len(prevUtil); i++ {
+			prevUtil[i] = 0
+		}
 
 		// GPU load: demand expressed at the max GPU frequency.
 		gpuDemand := cond.GPUDemand
@@ -539,7 +632,7 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		}
 		breakdown := r.GT.Evaluate(chip, act, st.Core, st.Board)
 		prevPowers = breakdown.Domain
-		corePow, boardPow := r.GT.CorePowers(chip, act, st.Core, st.Board)
+		boardPow := r.GT.CorePowersInto(corePow, chip, act, st.Core, st.Board)
 		tsim.Step(dt, thermal.Input{CorePower: corePow, BoardPower: boardPow, FanSpeed: fanSpeed})
 
 		// Metrics.
@@ -598,8 +691,8 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 	if opt.Model != nil {
 		var sum, worst, worstAbs float64
 		n := 0
-		for k := 0; k+horizon < len(maxTempSeries) && k < len(predRing); k++ {
-			predMax := stats.Max(predRing[k][:])
+		for k := 0; k+horizon < len(maxTempSeries) && k < len(predRing)/nodes; k++ {
+			predMax := stats.Max(predRing[k*nodes : (k+1)*nodes])
 			meas := maxTempSeries[k+horizon]
 			if meas <= 0 {
 				continue
@@ -650,17 +743,18 @@ func applyCoreLimit(chip *platform.Chip, lim dtpm.Limits) {
 		return
 	}
 	cl := chip.BigCluster
+	n := cl.NumCores()
 	if lim.OfflineCore >= 0 && cl.OnlineCount() > lim.MaxBigCores {
 		_ = cl.SetCoreOnline(lim.OfflineCore, false)
 	}
 	// Shed further cores if still above the limit (deterministic order).
-	for i := platform.CoresPerCluster - 1; i >= 0 && cl.OnlineCount() > lim.MaxBigCores; i-- {
+	for i := n - 1; i >= 0 && cl.OnlineCount() > lim.MaxBigCores; i-- {
 		if cl.CoreOnline(i) {
 			_ = cl.SetCoreOnline(i, false)
 		}
 	}
 	// Restore cores when allowed.
-	for i := 0; i < platform.CoresPerCluster && cl.OnlineCount() < lim.MaxBigCores; i++ {
+	for i := 0; i < n && cl.OnlineCount() < lim.MaxBigCores; i++ {
 		if !cl.CoreOnline(i) {
 			_ = cl.SetCoreOnline(i, true)
 		}

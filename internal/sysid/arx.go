@@ -8,10 +8,15 @@ import (
 	"repro/internal/mat"
 )
 
-// NumStates is the thermal model order: the four big-core hotspots (§4.2).
+// NumStates is the default thermal model order: the four big-core hotspots
+// of the paper platform (§4.2). Other platforms carry one state per
+// sensor-bearing core; Dataset.States and ThermalModel.States() hold the
+// effective order.
 const NumStates = 4
 
 // NumInputs is the number of power inputs: big, little, GPU, mem (Eq. 5.3).
+// The P-vector layout is canonical across platforms; absent domains have
+// zero power and an unexcited (zero) B column.
 const NumInputs = 4
 
 // Dataset is one identification experiment: synchronized temperature and
@@ -19,17 +24,27 @@ const NumInputs = 4
 type Dataset struct {
 	Ts      float64     // sampling period, seconds
 	Ambient float64     // °C; temperatures are modelled relative to this
-	Temps   [][]float64 // N samples of the 4 hotspot temperatures (°C)
+	States  int         // hotspot sensor count (0 = NumStates)
+	Temps   [][]float64 // N samples of the hotspot temperatures (°C)
 	Powers  [][]float64 // N samples of the 4 domain powers (W)
 }
 
 // Len returns the number of samples.
 func (d *Dataset) Len() int { return len(d.Temps) }
 
-// Append adds one synchronized sample.
-func (d *Dataset) Append(temps [NumStates]float64, powers [NumInputs]float64) {
-	d.Temps = append(d.Temps, temps[:])
-	d.Powers = append(d.Powers, powers[:])
+// NumStates returns the dataset's sensor-channel count.
+func (d *Dataset) NumStates() int {
+	if d.States > 0 {
+		return d.States
+	}
+	return NumStates
+}
+
+// Append adds one synchronized sample. Both slices are copied, so the
+// caller may reuse its buffers.
+func (d *Dataset) Append(temps []float64, powers []float64) {
+	d.Temps = append(d.Temps, append([]float64(nil), temps...))
+	d.Powers = append(d.Powers, append([]float64(nil), powers...))
 }
 
 // validate checks shape invariants.
@@ -43,8 +58,9 @@ func (d *Dataset) validate() error {
 	if len(d.Temps) < 2 {
 		return errors.New("sysid: need at least two samples")
 	}
+	ns := d.NumStates()
 	for i := range d.Temps {
-		if len(d.Temps[i]) != NumStates || len(d.Powers[i]) != NumInputs {
+		if len(d.Temps[i]) != ns || len(d.Powers[i]) != NumInputs {
 			return fmt.Errorf("sysid: sample %d has wrong width", i)
 		}
 	}
@@ -63,26 +79,45 @@ func (d *Dataset) validate() error {
 // is guarded by an internal mutex (the campaign engine shares one model
 // across its whole worker pool).
 type ThermalModel struct {
-	A       *mat.Mat // NumStates x NumStates
-	B       *mat.Mat // NumStates x NumInputs
+	A       *mat.Mat // n x n (n = model order, one state per hotspot)
+	B       *mat.Mat // n x NumInputs
 	Ts      float64  // seconds
 	Ambient float64  // °C
+	// Platform names the platform profile the model was identified on
+	// ("" = unknown, e.g. hand-built test models). sim.Run refuses to
+	// drive a platform with a model stamped for a different one — two
+	// profiles can share a model order but never share silicon constants.
+	Platform string
 
-	mu    sync.Mutex          // guards gains
-	gains map[int][2]*mat.Mat // HorizonGains cache, keyed by n
+	mu     sync.Mutex          // guards gains and stable
+	gains  map[int][2]*mat.Mat // HorizonGains cache, keyed by n
+	stable *bool               // cached Stable() (A is immutable after the fit)
 }
+
+// States returns the model order (the platform's hotspot-sensor count).
+func (m *ThermalModel) States() int { return m.A.Rows }
 
 // Stable reports whether the identified A matrix is (estimated) Schur
 // stable, i.e. its spectral radius is below one. Identified thermal models
-// must be stable; an unstable fit indicates a bad experiment.
+// must be stable; an unstable fit indicates a bad experiment. The estimate
+// is cached: A never changes after the fit, and every DTPM controller
+// build re-checks it (one power iteration per campaign cell would
+// otherwise dominate the controller's setup cost).
 func (m *ThermalModel) Stable() bool {
-	return mat.DominantEigenvalue(m.A, 200) < 1.0
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stable == nil {
+		st := mat.DominantEigenvalue(m.A, 200) < 1.0
+		m.stable = &st
+	}
+	return *m.stable
 }
 
 // Step predicts the next-interval temperatures (°C) from the current
 // temperatures (°C) and the domain powers held over the interval.
 func (m *ThermalModel) Step(tempC, powers []float64) []float64 {
-	dt := make([]float64, NumStates)
+	ns := m.States()
+	dt := make([]float64, ns)
 	for i := range dt {
 		dt[i] = tempC[i] - m.Ambient
 	}
@@ -98,7 +133,7 @@ func (m *ThermalModel) Step(tempC, powers []float64) []float64 {
 // shorter than n, the last entry is held (the DTPM algorithm predicts under
 // "the current decision persists").
 func (m *ThermalModel) Predict(tempC []float64, powerTraj [][]float64, n int) []float64 {
-	cur := make([]float64, NumStates)
+	cur := make([]float64, m.States())
 	copy(cur, tempC)
 	for i := 0; i < n; i++ {
 		p := powerTraj[len(powerTraj)-1]
@@ -116,32 +151,64 @@ func (m *ThermalModel) PredictConst(tempC, powers []float64, n int) []float64 {
 	return m.Predict(tempC, [][]float64{powers}, n)
 }
 
-// PredictConstInto is the allocation-free form of PredictConst: it writes
-// the n-step prediction into dst (length NumStates) and returns dst. The
-// arithmetic replays Step's exact operation order — relative-to-ambient
-// conversion every step, A·dT then B·P accumulated in MulVec order — so the
-// result is bit-identical to PredictConst. This is the DTPM control loop's
-// hot path: it runs twice per 100 ms interval in every simulation cell, so
-// it must not allocate.
+// PredictConstInto writes the n-step constant-power prediction into dst
+// (length States()) and returns dst. It allocates a fresh scratch per call;
+// hot paths hold a Predictor instead, which carries the scratch across
+// calls.
 func (m *ThermalModel) PredictConstInto(dst, tempC, powers []float64, n int) []float64 {
-	if len(dst) != NumStates || len(tempC) < NumStates {
+	return m.NewPredictor().PredictConstInto(dst, tempC, powers, n)
+}
+
+// Predictor binds a thermal model to preallocated scratch vectors, making
+// repeated constant-power predictions allocation-free. A fitted model is
+// shared read-only across every concurrent simulation cell; each cell owns
+// its Predictor (a Predictor is NOT safe for concurrent use).
+type Predictor struct {
+	m               *ThermalModel
+	cur, dt, av, bp []float64
+}
+
+// NewPredictor returns a predictor with scratch sized to the model order.
+func (m *ThermalModel) NewPredictor() *Predictor {
+	ns := m.States()
+	flat := make([]float64, 4*ns)
+	return &Predictor{
+		m:   m,
+		cur: flat[0:ns:ns],
+		dt:  flat[ns : 2*ns : 2*ns],
+		av:  flat[2*ns : 3*ns : 3*ns],
+		bp:  flat[3*ns : 4*ns : 4*ns],
+	}
+}
+
+// PredictConstInto is the allocation-free n-step constant-power prediction:
+// it writes into dst (length States()) and returns dst. The arithmetic
+// replays Step's exact operation order — relative-to-ambient conversion
+// every step, A·dT then B·P accumulated in MulVec order — so the result is
+// bit-identical to PredictConst. This is the DTPM control loop's hot path:
+// it runs twice per 100 ms interval in every simulation cell, so it must
+// not allocate.
+func (p *Predictor) PredictConstInto(dst, tempC, powers []float64, n int) []float64 {
+	m := p.m
+	ns := m.States()
+	if len(dst) != ns || len(tempC) < ns {
 		panic("sysid: PredictConstInto dst/tempC length")
 	}
-	var cur, dt, av, bp [NumStates]float64
-	copy(cur[:], tempC[:NumStates])
+	cur, dt, av, bp := p.cur, p.dt, p.av, p.bp
+	copy(cur, tempC[:ns])
 	// B·P is constant over the horizon; compute it once in MulVec order.
-	m.B.MulVecInto(bp[:], powers)
+	m.B.MulVecInto(bp, powers)
 	for k := 0; k < n; k++ {
 		for i := range dt {
 			dt[i] = cur[i] - m.Ambient
 		}
-		m.A.MulVecInto(av[:], dt[:])
+		m.A.MulVecInto(av, dt)
 		// Matches Step: next = (A·dT + B·P), then += Ambient.
 		for i := range cur {
 			cur[i] = av[i] + bp[i] + m.Ambient
 		}
 	}
-	copy(dst, cur[:])
+	copy(dst, cur)
 	return dst
 }
 
@@ -165,8 +232,8 @@ func (m *ThermalModel) HorizonGains(n int) (an, bn *mat.Mat) {
 	if g, ok := m.gains[n]; ok {
 		return g[0], g[1]
 	}
-	an = mat.Identity(NumStates)
-	bn = mat.New(NumStates, NumInputs)
+	an = mat.Identity(m.States())
+	bn = mat.New(m.States(), NumInputs)
 	for i := 0; i < n; i++ {
 		bn = bn.Add(an.Mul(m.B))
 		an = an.Mul(m.A)
@@ -222,28 +289,29 @@ func Identify(d *Dataset) (*ThermalModel, error) {
 	if len(excited) == 0 {
 		return nil, errors.New("sysid: no power input is excited in the dataset")
 	}
+	ns := d.NumStates()
 	n := d.Len() - 1
-	cols := NumStates + len(excited)
+	cols := ns + len(excited)
 	if n < cols {
 		return nil, fmt.Errorf("sysid: %d transitions insufficient for %d parameters per row", n, cols)
 	}
 	reg := mat.New(n, cols)
 	for k := 0; k < n; k++ {
-		for j := 0; j < NumStates; j++ {
+		for j := 0; j < ns; j++ {
 			reg.Set(k, j, d.Temps[k][j]-d.Ambient)
 		}
 		for c, j := range excited {
-			reg.Set(k, NumStates+c, d.Powers[k][j])
+			reg.Set(k, ns+c, d.Powers[k][j])
 		}
 	}
 	model := &ThermalModel{
-		A:       mat.New(NumStates, NumStates),
-		B:       mat.New(NumStates, NumInputs),
+		A:       mat.New(ns, ns),
+		B:       mat.New(ns, NumInputs),
 		Ts:      d.Ts,
 		Ambient: d.Ambient,
 	}
 	target := make([]float64, n)
-	for i := 0; i < NumStates; i++ {
+	for i := 0; i < ns; i++ {
 		for k := 0; k < n; k++ {
 			target[k] = d.Temps[k+1][i] - d.Ambient
 		}
@@ -251,11 +319,11 @@ func Identify(d *Dataset) (*ThermalModel, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sysid: row %d: %w", i, err)
 		}
-		for j := 0; j < NumStates; j++ {
+		for j := 0; j < ns; j++ {
 			model.A.Set(i, j, coef[j])
 		}
 		for c, j := range excited {
-			model.B.Set(i, j, coef[NumStates+c])
+			model.B.Set(i, j, coef[ns+c])
 		}
 	}
 	return model, nil
@@ -292,12 +360,16 @@ func IdentifyStaged(datasets []*Dataset) (*ThermalModel, error) {
 			return nil, fmt.Errorf("sysid: stage %d: %w", r, err)
 		}
 		n := d.Len() - 1
-		for i := 0; i < NumStates; i++ {
+		ns := base.States()
+		if d.NumStates() != ns {
+			return nil, fmt.Errorf("sysid: stage %d dataset has %d states, base model %d", r, d.NumStates(), ns)
+		}
+		for i := 0; i < ns; i++ {
 			// Residual after A and the already-known columns (all except r).
 			num, den := 0.0, 0.0
 			for k := 0; k < n; k++ {
 				pred := 0.0
-				for j := 0; j < NumStates; j++ {
+				for j := 0; j < ns; j++ {
 					pred += base.A.At(i, j) * (d.Temps[k][j] - d.Ambient)
 				}
 				for j := 0; j < NumInputs; j++ {
@@ -333,7 +405,7 @@ func ValidationError(m *ThermalModel, d *Dataset, horizon int) (meanPct, maxPct,
 	var sumPct float64
 	for k := 0; k+horizon < n; k++ {
 		pred := m.Predict(d.Temps[k], d.Powers[k:k+horizon], horizon)
-		for i := 0; i < NumStates; i++ {
+		for i := 0; i < m.States(); i++ {
 			meas := d.Temps[k+horizon][i]
 			if meas <= 0 {
 				continue

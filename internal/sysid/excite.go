@@ -13,6 +13,9 @@ import (
 // (ground-truth power + thermal models standing in for the silicon), the
 // sensors, and the sampling period.
 type Rig struct {
+	// Desc selects the platform under characterization (nil = the default
+	// Exynos 5410 board).
+	Desc    *platform.Descriptor
 	GT      *power.GroundTruth
 	Thermal thermal.Params
 	Sensors *sensor.Bank
@@ -29,34 +32,61 @@ func NewRig(seed int64) *Rig {
 	}
 }
 
+// desc resolves the platform descriptor.
+func (r *Rig) desc() *platform.Descriptor {
+	if r.Desc != nil {
+		return r.Desc
+	}
+	return platform.Default()
+}
+
 // lightActivity is the furnace characterization workload (§4.1.1): a light
 // load on one big core at a fixed operating point, so dynamic power is small
 // and constant and the temperature tracks the furnace setpoint.
-func lightActivity() power.ChipActivity {
+func lightActivity(cores int) power.ChipActivity {
+	util := make([]float64, cores)
+	util[0] = 0.03
 	return power.ChipActivity{
-		CoreUtil:    [4]float64{0.03, 0, 0, 0},
+		CoreUtil:    util,
 		CPUActivity: 1,
 		MemTraffic:  0.02,
 	}
 }
 
-// prbsCoreUtil is the core load pattern during CPU PRBS excitation: fully
-// loaded but slightly imbalanced, like a real run with the Android stack's
-// background threads (§6.1.3). The imbalance keeps the four hotspot
-// responses linearly independent.
-var prbsCoreUtil = [4]float64{1.0, 0.96, 0.99, 0.93}
+// prbsCoreUtil returns the core load pattern during CPU PRBS excitation:
+// fully loaded but slightly imbalanced, like a real run with the Android
+// stack's background threads (§6.1.3). The imbalance keeps the hotspot
+// responses linearly independent. The first four entries reproduce the
+// paper platform's pattern exactly; wider clusters extend it with a small
+// per-repeat decrement so no two cores ever load identically.
+func prbsCoreUtil(cores int) []float64 {
+	base := [4]float64{1.0, 0.96, 0.99, 0.93}
+	out := make([]float64, cores)
+	for i := range out {
+		out[i] = base[i%4] - 0.015*float64(i/4)
+	}
+	return out
+}
+
+// singleCoreUtil returns a pattern with only core 0 loaded at u (driver
+// overhead / traffic-generator threads during GPU and memory PRBS).
+func singleCoreUtil(cores int, u float64) []float64 {
+	util := make([]float64, cores)
+	util[0] = u
+	return util
+}
 
 // FurnaceTempSweep reproduces the Figure 4.2 experiment: the platform sits
 // in the furnace at each ambient setpoint running the light workload at the
 // given big-cluster frequency; after settling, samplesPer sensor readings of
 // (hotspot temperature, big-rail power) are logged per setpoint.
 func (r *Rig) FurnaceTempSweep(setpointsC []float64, freq platform.KHz, samplesPer int) ([]FurnaceSample, error) {
-	chip := platform.NewChip()
+	chip := platform.NewChipFor(r.desc())
 	if err := chip.Active().SetFreq(freq); err != nil {
 		return nil, err
 	}
 	v := chip.Active().Volt()
-	act := lightActivity()
+	act := lightActivity(chip.BigCluster.NumCores())
 
 	var out []FurnaceSample
 	for _, amb := range setpointsC {
@@ -88,8 +118,8 @@ func (r *Rig) FurnaceTempSweep(setpointsC []float64, freq platform.KHz, samplesP
 // furnace temperature, the light workload runs once per big-cluster DVFS
 // step; samplesPer readings are logged per step. The result feeds FitAlphaC.
 func (r *Rig) FurnaceFreqSweep(setpointC float64, samplesPer int) ([]FurnaceSample, error) {
-	chip := platform.NewChip()
-	act := lightActivity()
+	chip := platform.NewChipFor(r.desc())
+	act := lightActivity(chip.BigCluster.NumCores())
 	d := chip.Active().Domain
 
 	var out []FurnaceSample
@@ -138,12 +168,13 @@ func (r *Rig) CharacterizeLeakage() (power.LeakageParams, error) {
 	}
 
 	setpoints := []float64{40, 50, 60, 70, 80} // §4.1.1: 40-80 °C in 10 °C steps
-	fixed := platform.KHz(1600000)             // Figure 4.5 uses 1.6 GHz
+	bigDomain := &r.desc().Big.Domain
+	fixed := bigDomain.MaxFreq() // Figure 4.5 uses the top step (1.6 GHz on the Odroid)
 	sweep, err := r.FurnaceTempSweep(setpoints, fixed, 12)
 	if err != nil {
 		return power.LeakageParams{}, err
 	}
-	v, _ := platform.BigDomain().VoltAt(fixed)
+	v, _ := bigDomain.VoltAt(fixed)
 
 	// Stage estimates seed the joint fit over both experiments.
 	pDyn := alphaC * v * v * fixed.Hz()
@@ -177,20 +208,25 @@ func (r *Rig) CollectPRBS(cfg PRBSConfig) (*Dataset, error) {
 	if cfg.Duration <= 0 || cfg.HoldSec <= 0 {
 		return nil, fmt.Errorf("sysid: invalid PRBS config %+v", cfg)
 	}
-	chip := platform.NewChip()
+	desc := r.desc()
+	chip := platform.NewChipFor(desc)
 	sim := thermal.NewSim(r.Thermal)
 	prbs := NewPRBS(cfg.Seed)
 	n := int(cfg.Duration / r.Ts)
 	hold := int(cfg.HoldSec / r.Ts)
 	bits := prbs.HoldSequence(n, hold)
 
-	ds := &Dataset{Ts: r.Ts, Ambient: r.Thermal.Ambient}
+	nodes := chip.BigCluster.NumCores()
+	ds := &Dataset{Ts: r.Ts, Ambient: r.Thermal.Ambient, States: nodes}
 
 	// Baseline configuration: everything minimal.
 	if err := chip.Active().SetFreq(chip.Active().Domain.MinFreq()); err != nil {
 		return nil, err
 	}
 	if cfg.Resource == platform.Little {
+		if !chip.HasLittle() {
+			return nil, fmt.Errorf("sysid: platform %s has no little cluster to excite", desc.Name)
+		}
 		chip.SwitchCluster(platform.LittleCluster)
 	}
 
@@ -198,7 +234,7 @@ func (r *Rig) CollectPRBS(cfg PRBSConfig) (*Dataset, error) {
 		high := bits[k]
 		act := power.ChipActivity{CPUActivity: 1, GPUActivity: 1, MemTraffic: 0.05}
 		switch cfg.Resource {
-		case platform.Big:
+		case platform.Big, platform.Little:
 			f := chip.Active().Domain.MinFreq()
 			if high {
 				f = chip.Active().Domain.MaxFreq()
@@ -206,16 +242,7 @@ func (r *Rig) CollectPRBS(cfg PRBSConfig) (*Dataset, error) {
 			if err := chip.Active().SetFreq(f); err != nil {
 				return nil, err
 			}
-			act.CoreUtil = prbsCoreUtil
-		case platform.Little:
-			f := chip.Active().Domain.MinFreq()
-			if high {
-				f = chip.Active().Domain.MaxFreq()
-			}
-			if err := chip.Active().SetFreq(f); err != nil {
-				return nil, err
-			}
-			act.CoreUtil = prbsCoreUtil
+			act.CoreUtil = prbsCoreUtil(chip.Active().NumCores())
 		case platform.GPU:
 			f := chip.GPUDomain.MinFreq()
 			util := 0.05
@@ -227,20 +254,22 @@ func (r *Rig) CollectPRBS(cfg PRBSConfig) (*Dataset, error) {
 				return nil, err
 			}
 			act.GPUUtil = util
-			act.CoreUtil = [4]float64{0.1, 0, 0, 0} // driver overhead only
+			act.CoreUtil = singleCoreUtil(nodes, 0.1) // driver overhead only
 		case platform.Mem:
 			act.MemTraffic = 0.05
 			if high {
 				act.MemTraffic = 1.8
 			}
-			act.CoreUtil = [4]float64{0.15, 0, 0, 0} // traffic generator
+			act.CoreUtil = singleCoreUtil(nodes, 0.15) // traffic generator
 		default:
 			return nil, fmt.Errorf("sysid: unknown resource %v", cfg.Resource)
 		}
 
 		st := sim.State()
 		truth := r.GT.Evaluate(chip, act, st.Core, st.Board)
-		ds.Append(r.Sensors.ReadCoreTemps(st.Core), r.Sensors.ReadDomainPowers(truth.Domain))
+		temps := r.Sensors.ReadCoreTemps(st.Core)
+		powers := r.Sensors.ReadDomainPowers(truth.Domain)
+		ds.Append(temps, powers[:])
 
 		core, board := r.GT.CorePowers(chip, act, st.Core, st.Board)
 		sim.Step(r.Ts, thermal.Input{CorePower: core, BoardPower: board})
@@ -249,10 +278,15 @@ func (r *Rig) CollectPRBS(cfg PRBSConfig) (*Dataset, error) {
 }
 
 // CharacterizeThermal runs the paper's complete thermal identification:
-// one PRBS experiment per power resource, then staged least squares.
+// one PRBS experiment per power resource, then staged least squares. On
+// single-cluster platforms the little-cluster experiment is skipped (its B
+// column stays zero: the domain never draws power).
 func (r *Rig) CharacterizeThermal() (*ThermalModel, []*Dataset, error) {
 	datasets := make([]*Dataset, NumInputs)
 	for res := platform.Big; res < platform.NumResources; res++ {
+		if res == platform.Little && !r.desc().HasLittle() {
+			continue
+		}
 		cfg := DefaultPRBSConfig(res)
 		cfg.Seed += uint16(res) * 97
 		ds, err := r.CollectPRBS(cfg)
@@ -265,5 +299,6 @@ func (r *Rig) CharacterizeThermal() (*ThermalModel, []*Dataset, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	model.Platform = r.desc().Name
 	return model, datasets, nil
 }

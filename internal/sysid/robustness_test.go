@@ -85,8 +85,8 @@ func TestLeakageFitUnderHeavyNoise(t *testing.T) {
 // parameters must fail loudly, not return garbage.
 func TestDatasetTooShort(t *testing.T) {
 	d := &Dataset{Ts: 0.1, Ambient: 30}
-	d.Append([NumStates]float64{40, 40, 40, 40}, [NumInputs]float64{1, 0, 0, 0})
-	d.Append([NumStates]float64{41, 41, 41, 41}, [NumInputs]float64{1, 0, 0, 0})
+	d.Append([]float64{40, 40, 40, 40}, []float64{1, 0, 0, 0})
+	d.Append([]float64{41, 41, 41, 41}, []float64{1, 0, 0, 0})
 	if _, err := Identify(d); err == nil {
 		t.Error("two-sample dataset accepted")
 	}
@@ -97,7 +97,7 @@ func TestDatasetTooShort(t *testing.T) {
 func TestDatasetConstantInput(t *testing.T) {
 	d := &Dataset{Ts: 0.1, Ambient: 30}
 	for i := 0; i < 200; i++ {
-		d.Append([NumStates]float64{40, 40, 40, 40}, [NumInputs]float64{1, 0.5, 0.2, 0.3})
+		d.Append([]float64{40, 40, 40, 40}, []float64{1, 0.5, 0.2, 0.3})
 	}
 	if _, err := Identify(d); err == nil {
 		t.Error("zero-excitation dataset accepted")

@@ -162,14 +162,14 @@ func TestDatasetValidate(t *testing.T) {
 	if d.validate() == nil {
 		t.Fatal("empty dataset must fail validation")
 	}
-	d.Append([4]float64{40, 40, 40, 40}, [4]float64{1, 0, 0, 0})
-	d.Append([4]float64{41, 40, 40, 40}, [4]float64{1, 0, 0, 0})
+	d.Append([]float64{40, 40, 40, 40}, []float64{1, 0, 0, 0})
+	d.Append([]float64{41, 40, 40, 40}, []float64{1, 0, 0, 0})
 	if err := d.validate(); err != nil {
 		t.Fatal(err)
 	}
 	bad := &Dataset{Ts: 0, Ambient: 30}
-	bad.Append([4]float64{1, 2, 3, 4}, [4]float64{1, 0, 0, 0})
-	bad.Append([4]float64{1, 2, 3, 4}, [4]float64{1, 0, 0, 0})
+	bad.Append([]float64{1, 2, 3, 4}, []float64{1, 0, 0, 0})
+	bad.Append([]float64{1, 2, 3, 4}, []float64{1, 0, 0, 0})
 	if bad.validate() == nil {
 		t.Fatal("Ts=0 must fail")
 	}
@@ -209,9 +209,7 @@ func simulateDataset(m *ThermalModel, n int, seed uint16) *Dataset {
 				p[j] = 0.1
 			}
 		}
-		var tArr [4]float64
-		copy(tArr[:], temps)
-		ds.Append(tArr, p)
+		ds.Append(temps, p[:])
 		temps = m.Step(temps, p[:])
 	}
 	return ds
@@ -238,7 +236,7 @@ func TestIdentifyRecoversSynthModel(t *testing.T) {
 func TestIdentifyInsufficientData(t *testing.T) {
 	ds := &Dataset{Ts: 0.1, Ambient: 30}
 	for i := 0; i < 5; i++ {
-		ds.Append([4]float64{40, 40, 40, 40}, [4]float64{1, 0, 0, 0})
+		ds.Append([]float64{40, 40, 40, 40}, []float64{1, 0, 0, 0})
 	}
 	if _, err := Identify(ds); err == nil {
 		t.Fatal("expected error with fewer transitions than parameters")
@@ -287,11 +285,13 @@ func TestPredictConstIntoBitIdentical(t *testing.T) {
 			}
 		}
 	}
+	// The Predictor form is the hot-path contract: zero allocations.
+	pr := m.NewPredictor()
+	out := make([]float64, NumStates)
 	if allocs := testing.AllocsPerRun(100, func() {
-		var out [NumStates]float64
-		m.PredictConstInto(out[:], temps, powers, 10)
+		pr.PredictConstInto(out, temps, powers, 10)
 	}); allocs != 0 {
-		t.Errorf("PredictConstInto allocates %.0f times per call, want 0", allocs)
+		t.Errorf("Predictor.PredictConstInto allocates %.0f times per call, want 0", allocs)
 	}
 }
 

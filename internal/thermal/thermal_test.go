@@ -10,7 +10,7 @@ import (
 func highLoadInput() Input {
 	// 4 big cores at ~0.7 W each plus ~1.3 W of GPU/mem/board power:
 	// the matrix-multiplication scenario of Figure 1.1.
-	return Input{CorePower: [4]float64{0.7, 0.7, 0.7, 0.7}, BoardPower: 1.3}
+	return Input{CorePower: []float64{0.7, 0.7, 0.7, 0.7}, BoardPower: 1.3}
 }
 
 func TestStartsAtAmbient(t *testing.T) {
@@ -85,7 +85,7 @@ func TestNoFanCrossesConstraintwithin100s(t *testing.T) {
 	// well within the benchmark run.
 	s := NewSim(DefaultParams())
 	// Warm start: device idling before the benchmark launches.
-	s.SetState(State{Core: [4]float64{36, 36, 36, 36}, Board: 35})
+	s.SetState(State{Core: []float64{36, 36, 36, 36}, Board: 35})
 	in := highLoadInput()
 	crossed := -1.0
 	for tm := 0.0; tm < 100; tm += 0.1 {
@@ -122,7 +122,7 @@ func TestCoreFasterThanBoard(t *testing.T) {
 
 func TestHottestCoreTracksPowerImbalance(t *testing.T) {
 	s := NewSim(DefaultParams())
-	in := Input{CorePower: [4]float64{0.9, 0.5, 0.5, 0.5}, BoardPower: 1}
+	in := Input{CorePower: []float64{0.9, 0.5, 0.5, 0.5}, BoardPower: 1}
 	s.Step(30, in)
 	st := s.State()
 	if st.HottestCore() != 0 {
@@ -139,7 +139,7 @@ func TestNeighborCouplingSpreadsHeat(t *testing.T) {
 	// Only core 0 dissipates; its grid neighbours (1, 2) must warm more
 	// than the diagonal core (3).
 	s := NewSim(DefaultParams())
-	in := Input{CorePower: [4]float64{1, 0, 0, 0}}
+	in := Input{CorePower: []float64{1, 0, 0, 0}}
 	s.Step(20, in)
 	st := s.State()
 	if !(st.Core[1] > st.Core[3] && st.Core[2] > st.Core[3]) {
@@ -152,7 +152,7 @@ func TestNeighborCouplingSpreadsHeat(t *testing.T) {
 
 func TestSymmetricNetworkKeepsCoresEqual(t *testing.T) {
 	p := DefaultParams()
-	p.CoreAsym = [4]float64{1, 1, 1, 1}
+	p.CoreAsym = []float64{1, 1, 1, 1}
 	s := NewSim(p)
 	s.Step(40, highLoadInput())
 	st := s.State()
@@ -181,7 +181,7 @@ func TestDefaultAsymmetryBreaksDegeneracy(t *testing.T) {
 	}
 }
 
-func stMax(c [4]float64) float64 {
+func stMax(c []float64) float64 {
 	m := c[0]
 	for _, v := range c[1:] {
 		if v > m {
@@ -191,7 +191,7 @@ func stMax(c [4]float64) float64 {
 	return m
 }
 
-func stMin(c [4]float64) float64 {
+func stMin(c []float64) float64 {
 	m := c[0]
 	for _, v := range c[1:] {
 		if v < m {
@@ -206,7 +206,7 @@ func TestStepZeroOrNegativeDtIsNoop(t *testing.T) {
 	before := s.State()
 	s.Step(0, highLoadInput())
 	s.Step(-5, highLoadInput())
-	if s.State() != before {
+	if !statesEqual(s.State(), before) {
 		t.Fatal("zero/negative dt must not change state")
 	}
 }
@@ -226,7 +226,7 @@ func TestSteadyStatePreservesSimState(t *testing.T) {
 	s.Step(10, highLoadInput())
 	before := s.State()
 	s.SteadyState(highLoadInput())
-	if s.State() != before {
+	if !statesEqual(s.State(), before) {
 		t.Fatal("SteadyState must not mutate the simulator")
 	}
 }
@@ -248,7 +248,7 @@ func TestEnergyConservationAtEquilibrium(t *testing.T) {
 }
 
 func TestMaxCoreAndHottest(t *testing.T) {
-	st := State{Core: [4]float64{50, 70, 60, 65}}
+	st := State{Core: []float64{50, 70, 60, 65}}
 	if st.MaxCore() != 70 || st.HottestCore() != 1 {
 		t.Fatalf("MaxCore=%v Hottest=%v", st.MaxCore(), st.HottestCore())
 	}
@@ -331,8 +331,8 @@ func TestPropertyPowerMonotone(t *testing.T) {
 		s := NewSim(DefaultParams())
 		p1 := rng.Float64() * 0.8
 		p2 := p1 + 0.05 + rng.Float64()*0.5
-		in1 := Input{CorePower: [4]float64{p1, p1, p1, p1}, BoardPower: 1}
-		in2 := Input{CorePower: [4]float64{p2, p2, p2, p2}, BoardPower: 1}
+		in1 := Input{CorePower: []float64{p1, p1, p1, p1}, BoardPower: 1}
+		in2 := Input{CorePower: []float64{p2, p2, p2, p2}, BoardPower: 1}
 		return s.SteadyState(in2).MaxCore() > s.SteadyState(in1).MaxCore()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
@@ -344,9 +344,9 @@ func TestPropertyPowerMonotone(t *testing.T) {
 // superposition holds for temperature rises.
 func TestPropertySuperposition(t *testing.T) {
 	s := NewSim(DefaultParams())
-	inA := Input{CorePower: [4]float64{0.5, 0, 0, 0}}
-	inB := Input{CorePower: [4]float64{0, 0.3, 0, 0}, BoardPower: 0.7}
-	inAB := Input{CorePower: [4]float64{0.5, 0.3, 0, 0}, BoardPower: 0.7}
+	inA := Input{CorePower: []float64{0.5, 0, 0, 0}}
+	inB := Input{CorePower: []float64{0, 0.3, 0, 0}, BoardPower: 0.7}
+	inAB := Input{CorePower: []float64{0.5, 0.3, 0, 0}, BoardPower: 0.7}
 	a := s.SteadyState(inA)
 	b := s.SteadyState(inB)
 	ab := s.SteadyState(inAB)
@@ -356,5 +356,63 @@ func TestPropertySuperposition(t *testing.T) {
 		if math.Abs(sum-(ab.Core[i]-amb)) > 0.05 {
 			t.Fatalf("superposition broken on core %d: %v vs %v", i, sum, ab.Core[i]-amb)
 		}
+	}
+}
+
+func statesEqual(a, b State) bool {
+	if a.Board != b.Board || len(a.Core) != len(b.Core) {
+		return false
+	}
+	for i := range a.Core {
+		if a.Core[i] != b.Core[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGridNeighbors(t *testing.T) {
+	want4 := [][]int{{1, 2}, {0, 3}, {0, 3}, {1, 2}}
+	got4 := GridNeighbors(4)
+	for i := range want4 {
+		if len(got4[i]) != len(want4[i]) {
+			t.Fatalf("node %d neighbors = %v, want %v", i, got4[i], want4[i])
+		}
+		for j := range want4[i] {
+			if got4[i][j] != want4[i][j] {
+				t.Fatalf("node %d neighbors = %v, want %v (paper floorplan)", i, got4[i], want4[i])
+			}
+		}
+	}
+	// 8 nodes: a 2x4 grid, symmetric adjacency, interior nodes have 3 edges.
+	p := Params{NumCores: 8, CCore: 0.5, CBoard: 5, GCoreBoard: 0.08, GCoreCore: 0.3, GBoardAmb: 0.07}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got8 := GridNeighbors(8)
+	if len(got8[2]) != 3 || len(got8[0]) != 2 {
+		t.Fatalf("8-node grid degrees wrong: %v", got8)
+	}
+}
+
+func TestStabilityEigenvaluesNegative(t *testing.T) {
+	for _, p := range []Params{DefaultParams(), {NumCores: 8, CCore: 0.45, CBoard: 7.5, GCoreBoard: 0.075, GCoreCore: 0.28, GBoardAmb: 0.085}} {
+		for _, ev := range p.StabilityEigenvalues() {
+			if ev >= 0 {
+				t.Fatalf("RC eigenvalue %g >= 0 for %+v", ev, p)
+			}
+		}
+	}
+}
+
+func TestFanlessSpecNoFanEffect(t *testing.T) {
+	p := DefaultParams()
+	p.GFanMax, p.GFanCoreMax = 0, 0
+	s := NewSim(p)
+	in := highLoadInput()
+	noFan := s.SteadyState(in).MaxCore()
+	in.FanSpeed = 1
+	if got := s.SteadyState(in).MaxCore(); got != noFan {
+		t.Fatalf("fanless network cooled by fan speed: %v vs %v", got, noFan)
 	}
 }

@@ -223,24 +223,36 @@ func (g *Generator) GPUUtilAt(t float64) float64 {
 // Background models the Android stack and kernel daemons that keep several
 // cores lightly busy during every run (§6.1.3: "multiple background
 // processes also load the processor"). Utilization per core is a small
-// seeded random process.
+// seeded random process; the core count follows the platform (one daemon
+// stream per big core).
 type Background struct {
 	rng   *rand.Rand
-	level [4]float64
+	level []float64
+	out   []float64
 }
 
-// NewBackground returns the standard background load generator.
-func NewBackground(seed int64) *Background {
-	return &Background{rng: rand.New(rand.NewSource(seed))}
+// NewBackground returns the standard (4-core, Exynos 5410) background load
+// generator.
+func NewBackground(seed int64) *Background { return NewBackgroundN(seed, 4) }
+
+// NewBackgroundN returns a background generator for n cores.
+func NewBackgroundN(seed int64, n int) *Background {
+	flat := make([]float64, 2*n)
+	return &Background{
+		rng:   rand.New(rand.NewSource(seed)),
+		level: flat[0:n:n],
+		out:   flat[n : 2*n : 2*n],
+	}
 }
 
 // UtilAt returns the per-core background demand (fraction of RefCapacity)
-// at a control tick. Values hover around 2-6%.
-func (bg *Background) UtilAt() [4]float64 {
-	var out [4]float64
-	for i := range out {
+// at a control tick. Values hover around 2-6%. The returned slice is reused
+// across calls (the simulation loop reads it every tick without
+// allocating); copy it to retain a sample.
+func (bg *Background) UtilAt() []float64 {
+	for i := range bg.level {
 		bg.level[i] = 0.95*bg.level[i] + 0.05*(0.02+0.04*bg.rng.Float64())
-		out[i] = bg.level[i]
+		bg.out[i] = bg.level[i]
 	}
-	return out
+	return bg.out
 }

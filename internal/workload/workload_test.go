@@ -207,9 +207,9 @@ func TestGPUUtilAt(t *testing.T) {
 
 func TestBackgroundLoad(t *testing.T) {
 	bg := NewBackground(1)
-	var last [4]float64
+	last := make([]float64, 4)
 	for i := 0; i < 500; i++ {
-		last = bg.UtilAt()
+		copy(last, bg.UtilAt())
 		for c, u := range last {
 			if u < 0 || u > 0.10 {
 				t.Fatalf("background util core %d = %v, want small", c, u)
@@ -222,11 +222,20 @@ func TestBackgroundLoad(t *testing.T) {
 			t.Fatalf("background core %d never active", c)
 		}
 	}
-	// Determinism.
-	b1, b2 := NewBackground(9), NewBackground(9)
-	for i := 0; i < 50; i++ {
-		if b1.UtilAt() != b2.UtilAt() {
-			t.Fatal("background not deterministic")
+	// Determinism, at the default and at a platform-sized core count.
+	for _, n := range []int{4, 8} {
+		b1, b2 := NewBackgroundN(9, n), NewBackgroundN(9, n)
+		for i := 0; i < 50; i++ {
+			u1 := append([]float64(nil), b1.UtilAt()...)
+			u2 := b2.UtilAt()
+			if len(u1) != n || len(u2) != n {
+				t.Fatalf("background width = %d/%d, want %d", len(u1), len(u2), n)
+			}
+			for c := range u1 {
+				if u1[c] != u2[c] {
+					t.Fatal("background not deterministic")
+				}
+			}
 		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -87,22 +88,70 @@ func (m *Models) LeakageAt(tempC, volt float64) float64 {
 // PredictTemperature predicts the hotspot temperatures (°C) n control
 // intervals (100 ms each) ahead, from current core temperatures and domain
 // powers [big, little, gpu, mem] in watts — Equation 4.5.
+//
+// The fixed [4] shape fits the default (exynos5410) platform's 4-state
+// model only; it panics for models of any other order so a wrong-platform
+// mix-up is loud instead of silently mispredicting. Use
+// PredictTemperatureN for models identified on other platforms.
 func (m *Models) PredictTemperature(tempC [4]float64, powersW [4]float64, n int) [4]float64 {
-	out := m.c.Thermal.PredictConst(tempC[:], powersW[:], n)
+	out, err := m.PredictTemperatureN(tempC[:], powersW[:], n)
+	if err != nil {
+		panic("repro: " + err.Error())
+	}
 	var res [4]float64
 	copy(res[:], out)
 	return res
 }
 
-// Device is a simulated Odroid-XU+E class platform.
+// PredictTemperatureN is the platform-generic form of PredictTemperature:
+// tempC must carry one entry per hotspot node of the platform the models
+// were identified on (Models.States()), powersW the four domain powers.
+func (m *Models) PredictTemperatureN(tempC, powersW []float64, n int) ([]float64, error) {
+	if got, want := len(tempC), m.c.Thermal.States(); got != want {
+		return nil, fmt.Errorf("model has %d hotspot states, got %d temperatures (models identified on a different platform?)", want, got)
+	}
+	return m.c.Thermal.PredictConst(tempC, powersW, n), nil
+}
+
+// States returns the identified thermal model's order: one state per
+// hotspot node of the platform the models were characterized on.
+func (m *Models) States() int { return m.c.Thermal.States() }
+
+// Device is a simulated mobile platform (the default is the paper's
+// Odroid-XU+E board; NewDeviceFor builds any registered platform).
 type Device struct {
 	r *sim.Runner
 }
 
-// NewDevice returns the default calibrated device.
+// NewDevice returns the default calibrated device (exynos5410).
 func NewDevice() *Device {
 	return &Device{r: sim.NewRunner()}
 }
+
+// NewDeviceFor returns a simulated device for a registered platform
+// profile; see Platforms() for the names. Every layer of the simulator —
+// ground-truth power, RC thermal network, sensors, kernel, governors, and
+// the DTPM controller — sizes itself from the profile's descriptor.
+func NewDeviceFor(name string) (*Device, error) {
+	d, err := platform.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{r: sim.NewRunnerFor(d)}, nil
+}
+
+// Platform returns the name of the profile this device simulates.
+func (d *Device) Platform() string {
+	if d.r.Desc != nil {
+		return d.r.Desc.Name
+	}
+	return platform.DefaultName
+}
+
+// Platforms returns the registered platform profile names (default
+// platform first). These are valid for NewDeviceFor and for the campaign
+// Platforms sweep axis.
+func Platforms() []string { return platform.Names() }
 
 // Characterize runs the complete Chapter 4 modeling methodology against
 // the device: the temperature-furnace leakage characterization (§4.1.1)
@@ -174,8 +223,9 @@ func (d *Device) Run(spec RunSpec) (*Result, error) {
 }
 
 // CampaignGrid declares a simulation campaign as the cartesian product of
-// {policy × workload × governor × seed × tmax} axes, where the workload
-// axis is either Table 6.4 benchmarks or named scenarios; empty axes
+// {policy × workload × platform × governor × seed × tmax} axes, where the
+// workload axis is either Table 6.4 benchmarks or named scenarios and the
+// platform axis names registered profiles (see Platforms()); empty axes
 // default to the paper's configuration. See the campaign package for the
 // semantics.
 type CampaignGrid = campaign.Grid
@@ -249,7 +299,9 @@ type ScenarioRunSpec struct {
 	Record bool
 }
 
-// RunScenario executes one multi-phase scenario.
+// RunScenario executes one multi-phase scenario. The spec is validated
+// against the device's platform profile (thread counts the platform cannot
+// schedule are rejected), like the CLI and campaign paths.
 func (d *Device) RunScenario(spec ScenarioRunSpec) (*Result, error) {
 	s := spec.Spec
 	if s == nil {
@@ -258,6 +310,9 @@ func (d *Device) RunScenario(spec ScenarioRunSpec) (*Result, error) {
 			return nil, err
 		}
 		s = &named
+	}
+	if err := scenario.ValidateFor(*s, d.r.Desc); err != nil {
+		return nil, err
 	}
 	script, err := scenario.Compile(*s)
 	if err != nil {
