@@ -7,11 +7,13 @@ GO ?= go
 # real hunt, e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json bench-baseline lint fmt fuzz cover ci clean
+.PHONY: all build test race bench bench-json bench-baseline lint fmt fuzz cover api-check api-surface ci clean
 
 # The hot-loop benchmarks whose allocs/op are engineered to be flat and
 # machine-independent; bench-json gates them against BENCH_baseline.json.
-HOTBENCH = BenchmarkSimCell$$|BenchmarkSimCellDTPM$$
+# BenchmarkStreamingRun covers the session-API streaming path (goroutine +
+# channel handoff per interval) on top of the raw simulation cell.
+HOTBENCH = BenchmarkSimCell$$|BenchmarkSimCellDTPM$$|BenchmarkStreamingRun$$
 
 all: build
 
@@ -63,7 +65,24 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-ci: build lint race bench bench-json fuzz cover
+# API-surface snapshot gate: the public facade's godoc is committed at
+# docs/api-surface.txt; any change to the exported API shows up as a diff
+# here and must be regenerated deliberately (make api-surface) so facade
+# changes are reviewed, never accidental.
+api-check:
+	@$(GO) doc -all . > .api-surface.latest
+	@if ! diff -u docs/api-surface.txt .api-surface.latest; then \
+		echo "api-check: public API surface changed; review the diff and run 'make api-surface' if intentional" >&2; \
+		rm -f .api-surface.latest; exit 1; fi
+	@rm -f .api-surface.latest
+	@echo "api-check: public API surface matches docs/api-surface.txt"
+
+# Regenerate the committed API-surface snapshot after an INTENTIONAL
+# facade change; the diff belongs in the same review as the code.
+api-surface:
+	$(GO) doc -all . > docs/api-surface.txt
+
+ci: build lint api-check race bench bench-json fuzz cover
 
 clean:
-	rm -f bench.txt coverage.out BENCH_latest.json
+	rm -f bench.txt coverage.out BENCH_latest.json .api-surface.latest

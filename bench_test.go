@@ -10,6 +10,7 @@ package repro
 // reports. EXPERIMENTS.md records the paper-vs-measured comparison.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -28,7 +29,7 @@ var (
 func benchContext(b *testing.B) *experiments.Context {
 	b.Helper()
 	benchCtxOnce.Do(func() {
-		benchCtx, benchCtxErr = experiments.NewContext(1)
+		benchCtx, benchCtxErr = experiments.NewContext(context.Background(), 1)
 	})
 	if benchCtxErr != nil {
 		b.Fatalf("characterization: %v", benchCtxErr)
@@ -92,7 +93,7 @@ func BenchmarkSimCell(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Runner.Run(sim.Options{
+		if _, err := ctx.Runner.Run(context.Background(), sim.Options{
 			Policy: sim.PolicyNoFan, Bench: bench, Seed: 1,
 		}); err != nil {
 			b.Fatal(err)
@@ -111,11 +112,45 @@ func BenchmarkSimCellDTPM(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Runner.Run(sim.Options{
+		if _, err := ctx.Runner.Run(context.Background(), sim.Options{
 			Policy: sim.PolicyDTPM, Bench: bench, Seed: 1,
 			Model: ctx.Char.Thermal, PowerModel: ctx.Char.Power,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamingRun is BenchmarkSimCell through the streaming session
+// API: the same cell started with Device.Start and consumed sample by
+// sample over the live iterator. The delta against BenchmarkSimCell is the
+// full cost of streaming (session setup, one goroutine, one unbuffered
+// channel handoff per control interval); allocs/op is gated like the other
+// hot loops because the per-sample path must not allocate.
+func BenchmarkStreamingRun(b *testing.B) {
+	ctx := benchContext(b)
+	dev := &Device{r: ctx.Runner}
+	spec := NewSpec(
+		WithBenchmark("dijkstra"),
+		WithPolicy(WithoutFan),
+		WithSeed(1),
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		session, err := dev.Start(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for range session.Samples() {
+			n++
+		}
+		if _, err := session.Result(); err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no samples streamed")
 		}
 	}
 }
@@ -169,7 +204,7 @@ func benchAblation(b *testing.B, mutate func(*dtpm.Config)) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := ctx.Runner.Run(sim.Options{
+		res, err := ctx.Runner.Run(context.Background(), sim.Options{
 			Policy: sim.PolicyDTPM, Bench: bench, Seed: 5,
 			Model: ctx.Char.Thermal, PowerModel: ctx.Char.Power, DTPM: &cfg,
 		})

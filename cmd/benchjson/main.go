@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -84,7 +85,7 @@ func main() {
 // parse reads `go test -bench` text: lines of the form
 //
 //	BenchmarkName-8   	      10	  123456 ns/op	  4096 B/op	  12 allocs/op
-func parse(r *os.File, only []string) (*File, error) {
+func parse(r io.Reader, only []string) (*File, error) {
 	var f File
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkSimCell-8     	       1	   4334007 ns/op	   41672 B/op	      59 allocs/op
+BenchmarkSimCellDTPM-8 	       1	   1540076 ns/op	  131512 B/op	      52 allocs/op
+BenchmarkCRC32-8       	       1	    100000 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	f, err := parse(strings.NewReader(benchOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	// Sorted by name; the -8 GOMAXPROCS suffix is stripped without eating
+	// digits that belong to the benchmark name.
+	if f.Benchmarks[0].Name != "BenchmarkCRC32" {
+		t.Errorf("first benchmark %q", f.Benchmarks[0].Name)
+	}
+	var cell Entry
+	for _, e := range f.Benchmarks {
+		if e.Name == "BenchmarkSimCell" {
+			cell = e
+		}
+	}
+	if cell.AllocsPerOp != 59 || cell.BytesPerOp != 41672 || cell.NsPerOp != 4334007 {
+		t.Errorf("SimCell entry: %+v", cell)
+	}
+}
+
+func TestParseOnlyFilter(t *testing.T) {
+	f, err := parse(strings.NewReader(benchOutput), []string{"DTPM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "BenchmarkSimCellDTPM" {
+		t.Fatalf("filtered: %+v", f.Benchmarks)
+	}
+}
+
+func writeArtifact(t *testing.T, name string, entries []Entry) string {
+	t.Helper()
+	data, err := json.Marshal(File{Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCheck pins the allocation-regression gate: growth beyond the
+// tolerance fails, growth within it (and improvements, renames, and new
+// benchmarks) passes.
+func TestRunCheck(t *testing.T) {
+	base := writeArtifact(t, "base.json", []Entry{
+		{Name: "BenchmarkSimCell", AllocsPerOp: 50},
+		{Name: "BenchmarkGone", AllocsPerOp: 10},
+	})
+	okLatest := writeArtifact(t, "ok.json", []Entry{
+		{Name: "BenchmarkSimCell", AllocsPerOp: 55}, // +10% < 20%
+		{Name: "BenchmarkNew", AllocsPerOp: 99},     // no baseline: reported, never gated
+	})
+	if err := runCheck(base, okLatest, 0.20); err != nil {
+		t.Fatalf("within-tolerance growth failed the gate: %v", err)
+	}
+	badLatest := writeArtifact(t, "bad.json", []Entry{
+		{Name: "BenchmarkSimCell", AllocsPerOp: 61}, // +22% > 20%
+	})
+	if err := runCheck(base, badLatest, 0.20); err == nil {
+		t.Fatal("regression beyond tolerance passed the gate")
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("load of a missing artifact succeeded")
+	}
+}
+
+func TestSplitListAndKeep(t *testing.T) {
+	got := splitList(" a, ,b,")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("splitList: %v", got)
+	}
+	if keep("BenchmarkX", []string{"Y"}) || !keep("BenchmarkX", nil) || !keep("BenchmarkXY", []string{"XY"}) {
+		t.Fatal("keep filter misbehaves")
+	}
+}

@@ -18,14 +18,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/cli"
 	"repro/internal/governor"
 	"repro/internal/platform"
 	"repro/internal/scenario"
@@ -64,6 +68,13 @@ func main() {
 		return
 	}
 
+	// SIGINT/SIGTERM cancel the sweep: workers stop picking up cells,
+	// in-flight simulations abort between control intervals, and the
+	// partial report (completed cells intact) is still summarized and
+	// exported before exiting 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// -platform is a convenience alias for a single-entry -platforms axis
 	// (the single-run CLIs use the singular form).
 	platAxis := *platforms
@@ -90,13 +101,17 @@ func main() {
 	if gridUsesDefaultPlatform(grid) {
 		fmt.Fprintln(os.Stderr, "campaign: characterizing device (furnace + PRBS system identification)...")
 		runner := sim.NewRunner()
-		models, err := runner.Characterize(*baseSeed)
+		models, err := runner.Characterize(ctx, *baseSeed)
 		if err != nil {
 			fatal(err)
 		}
 		eng.Runner = runner
 		eng.Models = models
 	}
+
+	// Run the sweep on the streaming engine (RunContext collects the
+	// completion-order stream into the deterministic cell-index order the
+	// exports rely on); OnCellDone prints live progress per cell.
 	if !*quiet {
 		eng.OnCellDone = func(done, total int, r campaign.CellResult) {
 			status := "ok"
@@ -106,10 +121,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "campaign: [%d/%d] %s %s\n", done, total, r.Cell, status)
 		}
 	}
-
 	fmt.Fprintf(os.Stderr, "campaign: running %d cells\n", grid.Size())
-	rep, err := eng.Run(grid)
-	if err != nil {
+	rep, err := eng.RunContext(ctx, grid)
+	cancelled := err != nil && cli.Cancelled(err)
+	if err != nil && !cancelled {
 		fatal(err)
 	}
 
@@ -124,14 +139,17 @@ func main() {
 			fatal(err)
 		}
 	}
+	if cancelled {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(130)
+	}
 	if len(rep.Failures()) > 0 {
 		os.Exit(1)
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "campaign:", err)
-	os.Exit(2)
+	cli.Exit("campaign", err, "run `campaign -list` for the known names")
 }
 
 // gridUsesDefaultPlatform reports whether any cell of the grid will run on

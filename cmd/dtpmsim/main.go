@@ -2,20 +2,29 @@
 // the simulated Odroid-XU+E platform and reports the Chapter 6 metrics,
 // optionally dumping the full time traces as CSV.
 //
+// The simulation is context-aware: Ctrl-C stops it between control
+// intervals and the partial metrics over the completed intervals are
+// reported before exiting with the conventional SIGINT code (130). With
+// -progress, live per-interval telemetry streams to stderr.
+//
 // Usage:
 //
 //	dtpmsim -bench templerun -policy dtpm
 //	dtpmsim -bench matrixmult -policy all
 //	dtpmsim -bench basicmath -policy nofan -csv trace.csv
-//	dtpmsim -bench dijkstra -platform tablet-8big -policy dtpm
+//	dtpmsim -bench dijkstra -platform tablet-8big -policy dtpm -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"repro/internal/cli"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -30,6 +39,7 @@ func main() {
 		governor = flag.String("governor", "", "default cpufreq governor (ondemand, interactive, performance, powersave)")
 		csvPath  = flag.String("csv", "", "write full time traces to this CSV file")
 		plat     = flag.String("platform", "", "platform profile (empty = "+platform.DefaultName+"; see -list)")
+		progress = flag.Bool("progress", false, "stream live per-interval telemetry to stderr")
 		list     = flag.Bool("list", false, "list benchmarks and platforms, then exit")
 	)
 	flag.Parse()
@@ -42,6 +52,11 @@ func main() {
 		fmt.Println("platforms:", strings.Join(platform.Names(), ", "))
 		return
 	}
+
+	// SIGINT/SIGTERM cancel the context; the simulator stops between
+	// control intervals and returns the partial result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	b, err := workload.ByName(*bench)
 	if err != nil {
@@ -61,26 +76,35 @@ func main() {
 		runner = sim.NewRunnerFor(desc)
 	}
 	fmt.Fprintln(os.Stderr, "characterizing device (furnace + PRBS system identification)...")
-	ch, err := runner.Characterize(*seed)
+	ch, err := runner.Characterize(ctx, *seed)
 	if err != nil {
 		fatal(err)
+	}
+
+	var observer func(sim.Sample)
+	var progressDone func()
+	if *progress {
+		observer, progressDone = cli.Progress(os.Stderr, 50) // every 5 simulated seconds at 100 ms
 	}
 
 	fmt.Printf("%-12s %8s %8s %8s %7s %7s %8s %9s\n",
 		"policy", "exec(s)", "power(W)", "energy(J)", "maxT(C)", "avgT(C)", ">63C(s)", "predErr")
 	for _, pol := range policies {
-		res, err := runner.Run(sim.Options{
+		res, err := cli.RunPartial(ctx, runner, sim.Options{
 			Policy: pol, Bench: b, Seed: *seed, TMax: *tmax, Governor: *governor,
 			Model: ch.Thermal, PowerModel: ch.Power,
-			Record: *csvPath != "",
-		})
-		if err != nil {
+			Record:   *csvPath != "",
+			Observer: observer,
+		}, progressDone)
+		if res == nil {
 			fatal(err)
 		}
 		fmt.Printf("%-12s %8.1f %8.2f %8.0f %7.1f %7.1f %8.1f %8.2f%%\n",
 			pol, res.ExecTime, res.AvgPower, res.Energy, res.MaxTemp, res.AvgTemp,
 			res.OverTMax, res.PredMeanPct)
-		if *csvPath != "" {
+		// Written even when the run was interrupted: the partial recording
+		// over the completed intervals is exactly what -csv asked for.
+		if *csvPath != "" && res.Rec != nil {
 			name := *csvPath
 			if len(policies) > 1 {
 				name = strings.TrimSuffix(name, ".csv") + "-" + pol.String() + ".csv"
@@ -96,6 +120,9 @@ func main() {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "traces written to %s\n", name)
+		}
+		if err != nil { // cancelled: partial metrics and trace reported, SIGINT exit
+			fatal(err)
 		}
 	}
 }
@@ -117,6 +144,5 @@ func parsePolicies(s string) ([]sim.Policy, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dtpmsim:", err)
-	os.Exit(1)
+	cli.Exit("dtpmsim", err, "run `dtpmsim -list` for the known names")
 }

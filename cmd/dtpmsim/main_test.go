@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParsePolicies(t *testing.T) {
+	cases := map[string][]sim.Policy{
+		"fan":         {sim.PolicyFan},
+		"with-fan":    {sim.PolicyFan},
+		"default":     {sim.PolicyFan},
+		"nofan":       {sim.PolicyNoFan},
+		"without-fan": {sim.PolicyNoFan},
+		"reactive":    {sim.PolicyReactive},
+		"dtpm":        {sim.PolicyDTPM},
+		"DTPM":        {sim.PolicyDTPM}, // case-insensitive
+		"all":         {sim.PolicyFan, sim.PolicyNoFan, sim.PolicyReactive, sim.PolicyDTPM},
+	}
+	for in, want := range cases {
+		got, err := parsePolicies(in)
+		if err != nil {
+			t.Errorf("parsePolicies(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("parsePolicies(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("parsePolicies(%q)[%d] = %v, want %v", in, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := parsePolicies("warp-speed"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

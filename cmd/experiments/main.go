@@ -1,6 +1,10 @@
 // Command experiments regenerates the paper's tables and figures from the
 // simulated platform.
 //
+// The regeneration is context-aware: Ctrl-C aborts the characterization
+// between its stages and any in-flight simulation between control
+// intervals, exiting with the conventional SIGINT code (130).
+//
 // Usage:
 //
 //	experiments -list            # show every artifact id
@@ -9,10 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -37,14 +45,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Fprintln(os.Stderr, "characterizing device (furnace + PRBS system identification)...")
-	ctx, err := experiments.NewContext(*seed)
+	ctx, err := experiments.NewContext(sigCtx, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	ctx.SetWorkers(*workers)
 
+	total := 1
+	if *all {
+		total = len(experiments.All())
+	}
+	n := 0
 	run := func(e experiments.Experiment) {
+		n++
+		fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s: %s\n", n, total, e.ID, e.Title)
 		rep, err := e.Run(ctx)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
@@ -67,6 +85,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	cli.Exit("experiments", err, "run `experiments -list` for the known ids")
 }

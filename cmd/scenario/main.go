@@ -24,11 +24,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/cli"
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -40,6 +44,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the context; runs stop between control
+	// intervals and the process exits with the conventional 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
@@ -47,11 +55,11 @@ func main() {
 	case "platforms":
 		err = cmdPlatforms()
 	case "run":
-		err = cmdRun(os.Args[2:], false)
+		err = cmdRun(ctx, os.Args[2:], false)
 	case "record":
-		err = cmdRun(os.Args[2:], true)
+		err = cmdRun(ctx, os.Args[2:], true)
 	case "replay":
-		err = cmdReplay(os.Args[2:])
+		err = cmdReplay(ctx, os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
 	case "-h", "--help", "help":
@@ -63,8 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scenario:", err)
-		os.Exit(1)
+		cli.Exit("scenario", err, "run `scenario list` / `scenario platforms` for the known names")
 	}
 }
 
@@ -79,7 +86,10 @@ func usage() {
 
 common flags: -platform NAME (see `+"`scenario platforms`"+`)
               -policy with-fan|without-fan|reactive|dtpm  -seed N
-              -tmax C  -governor NAME  -period S`)
+              -tmax C  -governor NAME  -period S  -progress
+
+Ctrl-C stops a run between control intervals (partial metrics are
+reported; exit code 130).`)
 }
 
 // cmdPlatforms mirrors `scenario list` for the platform registry: one line
@@ -129,6 +139,9 @@ type runFlags struct {
 	tmax     float64
 	governor string
 	period   float64
+	progress bool
+
+	progressDone func() // terminates the -progress line, set with the observer
 }
 
 func addRunFlags(fs *flag.FlagSet) *runFlags {
@@ -139,6 +152,7 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 	fs.Float64Var(&rf.tmax, "tmax", 0, "thermal constraint in C (0 = paper's 63)")
 	fs.StringVar(&rf.governor, "governor", "", "initial cpufreq governor (empty = ondemand)")
 	fs.Float64Var(&rf.period, "period", 0, "control period in seconds (0 = paper's 0.1)")
+	fs.BoolVar(&rf.progress, "progress", false, "stream live per-interval telemetry to stderr")
 	return rf
 }
 
@@ -156,7 +170,7 @@ func (rf *runFlags) newRunner() (*sim.Runner, error) {
 
 // options builds the sim.Options for a scripted run, characterizing the
 // device first when the policy needs models.
-func (rf *runFlags) options(runner *sim.Runner, script sim.Script, record bool) (sim.Options, error) {
+func (rf *runFlags) options(ctx context.Context, runner *sim.Runner, script sim.Script, record bool) (sim.Options, error) {
 	pol, err := sim.ParsePolicy(rf.policy)
 	if err != nil {
 		return sim.Options{}, err
@@ -170,9 +184,12 @@ func (rf *runFlags) options(runner *sim.Runner, script sim.Script, record bool) 
 		ControlPeriod: rf.period,
 		Record:        record,
 	}
+	if rf.progress {
+		opt.Observer, rf.progressDone = cli.Progress(os.Stderr, 50) // every 5 simulated seconds at 100 ms
+	}
 	if pol == sim.PolicyDTPM {
 		fmt.Fprintln(os.Stderr, "scenario: characterizing device (furnace + PRBS system identification)...")
-		models, err := runner.Characterize(rf.seed)
+		models, err := runner.Characterize(ctx, rf.seed)
 		if err != nil {
 			return sim.Options{}, err
 		}
@@ -182,7 +199,15 @@ func (rf *runFlags) options(runner *sim.Runner, script sim.Script, record bool) 
 	return opt, nil
 }
 
-func cmdRun(args []string, record bool) error {
+// runScripted executes the options through the shared partial-result
+// choreography: a cancelled run returns its partial result alongside the
+// error, so the caller still reports metrics and writes the partial trace
+// before the 130 exit.
+func runScripted(ctx context.Context, rf *runFlags, runner *sim.Runner, opt sim.Options) (*sim.Result, error) {
+	return cli.RunPartial(ctx, runner, opt, rf.progressDone)
+}
+
+func cmdRun(ctx context.Context, args []string, record bool) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	name := fs.String("s", "", "library scenario name (see `scenario list`)")
 	specFile := fs.String("spec", "", "JSON scenario spec file (alternative to -s)")
@@ -212,32 +237,34 @@ func cmdRun(args []string, record bool) error {
 	if err := scenario.ValidateFor(spec, runner.Desc); err != nil {
 		return err
 	}
-	opt, err := rf.options(runner, script, record || *chart || *out != "")
+	opt, err := rf.options(ctx, runner, script, record || *chart || *out != "")
 	if err != nil {
 		return err
 	}
-	res, err := runner.Run(opt)
-	if err != nil {
-		return err
+	res, runErr := runScripted(ctx, rf, runner, opt)
+	if res == nil {
+		return runErr
 	}
 	printResult(res)
-	if *chart {
+	if *chart && res.Rec != nil {
 		for _, s := range []string{"maxtemp", "power_w", "freq_ghz"} {
 			if series := res.Rec.Series(s); series != nil {
 				fmt.Print(trace.AsciiChart(s, []*trace.Series{series}, 10, 72))
 			}
 		}
 	}
-	if *out != "" {
+	// Written even when the run was interrupted: the partial recording
+	// over the completed intervals is exactly what -o asked for.
+	if *out != "" && res.Rec != nil {
 		if err := writeFile(*out, res.Rec.WriteCSV); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "scenario: trace written to %s\n", *out)
 	}
-	return nil
+	return runErr // nil, or the cancellation carried out for the 130 exit
 }
 
-func cmdReplay(args []string) error {
+func cmdReplay(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	tracePath := fs.String("trace", "", "recorded trace CSV to replay (required)")
 	out := fs.String("o", "", "write the fresh run's trace CSV to this file")
@@ -267,19 +294,24 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	opt, err := rf.options(runner, script, true)
+	opt, err := rf.options(ctx, runner, script, true)
 	if err != nil {
 		return err
 	}
-	res, err := runner.Run(opt)
-	if err != nil {
-		return err
+	res, runErr := runScripted(ctx, rf, runner, opt)
+	if res == nil {
+		return runErr
 	}
 	printResult(res)
-	if *out != "" {
+	if *out != "" && res.Rec != nil {
 		if err := writeFile(*out, res.Rec.WriteCSV); err != nil {
 			return err
 		}
+	}
+	if runErr != nil {
+		// An interrupted replay can never diff cleanly (the fresh trace
+		// is a prefix); the partial -o trace is still written above.
+		return runErr
 	}
 	d := trace.DiffRecorders(rec, res.Rec.Materialize(), *tol)
 	fmt.Printf("replay diff vs %s: %s\n", *tracePath, d)

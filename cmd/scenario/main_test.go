@@ -1,0 +1,88 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestLoadSpec(t *testing.T) {
+	if _, err := loadSpec("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadSpec("gaming-session", "x.json"); err == nil {
+		t.Error("both -s and -spec accepted")
+	}
+	spec, err := loadSpec("gaming-session", "")
+	if err != nil || spec.Name != "gaming-session" {
+		t.Errorf("library load: %v, %v", spec.Name, err)
+	}
+	path := filepath.Join(t.TempDir(), "custom.json")
+	if err := os.WriteFile(path, []byte(`{"name":"custom","phases":[{"duration_s":5,"benchmark":"sha"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err = loadSpec("", path)
+	if err != nil || spec.Name != "custom" {
+		t.Errorf("spec-file load: %v, %v", spec.Name, err)
+	}
+	if _, err := loadSpec("", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+func TestRunFlagsNewRunner(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	rf := addRunFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := rf.newRunner()
+	if err != nil || r.Desc.Name != platform.DefaultName {
+		t.Fatalf("default runner: %+v, %v", r.Desc, err)
+	}
+	rf.platform = "tablet-8big"
+	r, err = rf.newRunner()
+	if err != nil || r.Desc.Name != "tablet-8big" {
+		t.Fatalf("named runner: %+v, %v", r.Desc, err)
+	}
+	rf.platform = "no-such-soc"
+	if _, err := rf.newRunner(); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestListSubcommands(t *testing.T) {
+	// cmdList and cmdPlatforms walk the real registries; they must not
+	// error (stdout noise is fine under go test).
+	if err := cmdList(); err != nil {
+		t.Errorf("cmdList: %v", err)
+	}
+	if err := cmdPlatforms(); err != nil {
+		t.Errorf("cmdPlatforms: %v", err)
+	}
+}
+
+func TestCmdDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	csvA := "time_s,maxtemp\n0,40\n0.1,41\n"
+	csvB := "time_s,maxtemp\n0,40\n0.1,99\n"
+	for path, data := range map[string]string{a: csvA, b: csvB} {
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cmdDiff([]string{"-a", a, "-b", a}); err != nil {
+		t.Errorf("identical traces diff: %v", err)
+	}
+	if err := cmdDiff([]string{"-a", a, "-b", b}); err == nil {
+		t.Error("diverging traces reported clean")
+	}
+	if err := cmdDiff([]string{"-a", a}); err == nil {
+		t.Error("missing -b accepted")
+	}
+}

@@ -3,6 +3,10 @@
 // (§4.1.1) and the per-resource PRBS thermal system identification
 // (§4.2.1) — and dumps the fitted models with their validation metrics.
 //
+// The characterization is context-aware: Ctrl-C aborts it between stages
+// (furnace sweeps, PRBS experiments) with the conventional SIGINT exit
+// code (130).
+//
 // Usage:
 //
 //	sysident            # full characterization with defaults
@@ -10,10 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/cli"
 	"repro/internal/platform"
 	"repro/internal/sensor"
 	"repro/internal/sim"
@@ -27,8 +35,12 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	runner := sim.NewRunner()
 	rig := &sysid.Rig{
+		Ctx:     ctx,
 		GT:      runner.GT,
 		Thermal: runner.Thermal,
 		Sensors: sensor.NewBank(runner.Sensors, *seed),
@@ -36,6 +48,7 @@ func main() {
 	}
 
 	fmt.Println("== Leakage characterization (temperature furnace, 40-80 C) ==")
+	fmt.Fprintln(os.Stderr, "sysident: [1/2] furnace sweeps + leakage fit...")
 	leak, err := rig.CharacterizeLeakage()
 	if err != nil {
 		fatal(err)
@@ -50,6 +63,7 @@ func main() {
 	}
 
 	fmt.Println("\n== Thermal system identification (per-resource PRBS) ==")
+	fmt.Fprintln(os.Stderr, "sysident: [2/2] per-resource PRBS identification...")
 	model, datasets, err := rig.CharacterizeThermal()
 	if err != nil {
 		fatal(err)
@@ -70,6 +84,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sysident:", err)
-	os.Exit(1)
+	cli.Exit("sysident", err, "")
 }

@@ -1,0 +1,34 @@
+package repro
+
+import (
+	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Typed sentinel errors. Every error the facade returns for these failure
+// modes wraps the matching sentinel (with %w all the way down), so callers
+// branch with errors.Is instead of string matching:
+//
+//	if errors.Is(err, repro.ErrUnknownBenchmark) {
+//	    // bad workload name: list repro.Benchmarks() and exit usage-style
+//	}
+//
+// The CLI exit paths use exactly this to map bad-name errors to usage exits
+// and cancellation to the conventional SIGINT exit code.
+var (
+	// ErrUnknownBenchmark: a workload name not in Benchmarks().
+	ErrUnknownBenchmark = workload.ErrUnknown
+	// ErrUnknownScenario: a scenario name not in Scenarios().
+	ErrUnknownScenario = scenario.ErrUnknown
+	// ErrUnknownPlatform: a platform profile not in Platforms().
+	ErrUnknownPlatform = platform.ErrUnknown
+	// ErrModelPlatformMismatch: models characterized on one platform were
+	// asked to drive a different platform's run.
+	ErrModelPlatformMismatch = sim.ErrModelPlatformMismatch
+	// ErrCancelled: a run was stopped by context cancellation. The error
+	// also wraps the context's cause, so errors.Is(err, context.Canceled)
+	// matches too; the Session still delivers the partial Result.
+	ErrCancelled = sim.ErrCancelled
+)

@@ -1,19 +1,23 @@
 // Campaignsweep fans a robustness grid out across every CPU core: three
 // policies × two hot benchmarks × three replicate seeds, DTPM additionally
-// swept over three constraints. It demonstrates the concurrent campaign
-// engine — the sweep saturates GOMAXPROCS workers yet produces exactly the
-// same report a sequential run would.
+// swept over three constraints. The first sweep is consumed as a live
+// stream — cells arrive the moment their worker finishes — while the
+// second uses the collected batch form; both produce exactly the report a
+// sequential run would.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
 	dev := repro.NewDevice()
 	fmt.Fprintln(os.Stderr, "characterizing device...")
 	models, err := dev.Characterize(1)
@@ -21,20 +25,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Robustness of the policy comparison across sensor-noise seeds.
+	// Robustness of the policy comparison across sensor-noise seeds,
+	// streamed: each cell is reported as it completes (completion order),
+	// then sorted back into the deterministic cell-index order.
 	grid := repro.CampaignGrid{
 		Policies:   []repro.Policy{repro.WithFan, repro.Reactive, repro.DTPM},
 		Benchmarks: []string{"matrixmult", "templerun"},
 		Seeds:      []int64{1, 2, 3},
 	}
-	fmt.Fprintf(os.Stderr, "sweeping %d cells...\n", grid.Size())
-	rep, err := dev.RunCampaign(grid, models, 0 /* GOMAXPROCS */, 1)
+	fmt.Fprintf(os.Stderr, "streaming %d cells...\n", grid.Size())
+	stream, err := dev.StreamCampaign(ctx, grid, models, 0 /* GOMAXPROCS */, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var cells []repro.CellResult
+	for r := range stream {
+		fmt.Fprintf(os.Stderr, "  [%d/%d] %s done\n", len(cells)+1, grid.Size(), r.Cell)
+		cells = append(cells, r)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Cell.Index < cells[j].Cell.Index })
+	rep := &repro.CampaignReport{BaseSeed: 1, Cells: cells}
 	fmt.Print(rep.Summary())
 
-	// DTPM constraint sweep on the stress benchmark, three seeds each.
+	// DTPM constraint sweep on the stress benchmark, three seeds each —
+	// the batch form collects the same deterministic report directly.
 	grid = repro.CampaignGrid{
 		Policies:   []repro.Policy{repro.DTPM},
 		Benchmarks: []string{"matrixmult"},
@@ -42,7 +56,7 @@ func main() {
 		TMax:       []float64{58, 63, 68},
 	}
 	fmt.Fprintf(os.Stderr, "sweeping %d constraint cells...\n", grid.Size())
-	rep, err = dev.RunCampaign(grid, models, 0, 1)
+	rep, err = dev.RunCampaign(ctx, grid, models, 0, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

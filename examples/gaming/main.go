@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,13 @@ func main() {
 
 	for _, game := range []string{"templerun", "angrybirds"} {
 		fmt.Printf("== %s ==\n", game)
-		results, err := dev.Compare(game, models, 1)
+		// Compare overrides only the policy per run, so every other knob
+		// of the unified spec carries into all four configurations.
+		results, err := dev.Compare(context.Background(), repro.NewSpec(
+			repro.WithBenchmark(game),
+			repro.WithModels(models),
+			repro.WithSeed(1),
+		))
 		if err != nil {
 			log.Fatal(err)
 		}

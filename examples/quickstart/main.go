@@ -1,9 +1,13 @@
 // Quickstart: characterize the simulated big.LITTLE device, then run the
 // Templerun game under the paper's predictive DTPM algorithm and under the
-// stock fan-cooled configuration, and compare.
+// stock fan-cooled configuration, and compare. The DTPM run uses the
+// streaming session API: samples arrive live every simulated 100 ms while
+// the run executes, and the session ends in the same Result a batch run
+// produces.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,14 +26,27 @@ func main() {
 	}
 
 	// Chapter 6: run the benchmark under the stock configuration (fan) and
-	// under the proposed DTPM algorithm (no fan needed).
+	// under the proposed DTPM algorithm (no fan needed). One unified Spec
+	// describes a run; Start streams it, Result collects it.
 	for _, policy := range []repro.Policy{repro.WithFan, repro.DTPM} {
-		res, err := dev.Run(repro.RunSpec{
-			Benchmark: "templerun",
-			Policy:    policy,
-			Models:    models,
-			Seed:      1,
-		})
+		session, err := dev.Start(context.Background(), repro.NewSpec(
+			repro.WithBenchmark("templerun"),
+			repro.WithPolicy(policy),
+			repro.WithModels(models),
+			repro.WithSeed(1),
+		))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Observe the live 100 ms telemetry loop the paper's controller
+		// acts on (print once per simulated 20 s to keep the output short).
+		for s := range session.Samples() {
+			if s.Step%200 == 0 {
+				fmt.Printf("  t=%5.1fs  %5.1f°C  %4.2f GHz  %5.2f W\n",
+					s.Time, s.MaxTemp, s.FreqGHz, s.Power)
+			}
+		}
+		res, err := session.Result()
 		if err != nil {
 			log.Fatal(err)
 		}

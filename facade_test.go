@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -55,7 +56,7 @@ func TestRunCampaignFacade(t *testing.T) {
 		Benchmarks: []string{"dijkstra"},
 		Seeds:      []int64{1, 2},
 	}
-	rep, err := dev.RunCampaign(grid, nil, 4, 1)
+	rep, err := dev.RunCampaign(context.Background(), grid, nil, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRunCampaignFacade(t *testing.T) {
 	}
 	// DTPM without models must be collected as a cell failure, not abort.
 	grid.Policies = []Policy{DTPM}
-	rep, err = dev.RunCampaign(grid, nil, 2, 1)
+	rep, err = dev.RunCampaign(context.Background(), grid, nil, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

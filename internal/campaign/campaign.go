@@ -17,7 +17,10 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"runtime"
 	"sync"
 
@@ -311,7 +314,7 @@ type Engine struct {
 	// non-default platform gets one runner and one characterization
 	// (seeded with BaseSeed), built on first use and shared by all of its
 	// cells. platMu only guards the map; the expensive characterization
-	// runs under the entry's own once so two platforms can characterize
+	// runs under the entry's own lock so two platforms can characterize
 	// concurrently without serializing on each other.
 	platMu  sync.Mutex
 	platDev map[string]*platformDevice
@@ -319,7 +322,7 @@ type Engine struct {
 
 // platformDevice is one lazily characterized non-default platform.
 type platformDevice struct {
-	once   sync.Once
+	mu     sync.Mutex
 	runner *sim.Runner
 	models *sim.Characterization
 	err    error
@@ -338,7 +341,7 @@ func runnerPlatform(r *sim.Runner) string {
 // platform it was built around); a named coordinate is served by the
 // engine's Runner/Models when they describe that platform and otherwise by
 // the per-campaign cache, characterized on first use.
-func (e *Engine) deviceFor(name string) (*sim.Runner, *sim.Characterization, error) {
+func (e *Engine) deviceFor(ctx context.Context, name string) (*sim.Runner, *sim.Characterization, error) {
 	if name == "" || name == runnerPlatform(e.Runner) {
 		return e.Runner, e.Models, nil
 	}
@@ -352,25 +355,87 @@ func (e *Engine) deviceFor(name string) (*sim.Runner, *sim.Characterization, err
 		e.platDev[name] = dev
 	}
 	e.platMu.Unlock()
-	dev.once.Do(func() {
-		desc, err := platform.ByName(name)
-		if err != nil {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	if dev.runner != nil || dev.err != nil {
+		return dev.runner, dev.models, dev.err
+	}
+	desc, err := platform.ByName(name)
+	if err != nil {
+		dev.err = err
+		return nil, nil, err
+	}
+	// DTPM cells need the Chapter 4 models; prediction-accuracy accounting
+	// uses them under any policy. Characterize with the campaign base seed
+	// so the sweep is reproducible.
+	runner := sim.NewRunnerFor(desc)
+	models, err := runner.Characterize(ctx, e.BaseSeed)
+	if err != nil {
+		// A cancelled characterization is transient: cache nothing, so a
+		// later sweep on this engine (with a live context) retries instead
+		// of inheriting a poisoned "context canceled" for the platform.
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			dev.err = err
-			return
 		}
-		dev.runner = sim.NewRunnerFor(desc)
-		// DTPM cells need the Chapter 4 models; prediction-accuracy
-		// accounting uses them under any policy. Characterize with the
-		// campaign base seed so the sweep is reproducible.
-		dev.models, dev.err = dev.runner.Characterize(e.BaseSeed)
-	})
-	return dev.runner, dev.models, dev.err
+		return nil, nil, err
+	}
+	dev.runner, dev.models = runner, models
+	return dev.runner, dev.models, nil
 }
 
 // Run executes every cell of the grid and returns the report. Individual
 // cell failures (unknown benchmark, bad governor, missing models, panics)
 // are recorded in the report; Run itself only fails on an empty grid.
 func (e *Engine) Run(grid Grid) (*Report, error) {
+	return e.RunContext(context.Background(), grid)
+}
+
+// RunContext is Run with cancellation: it collects the Stream into the
+// deterministic cell-index order the exports rely on. On cancellation it
+// returns the partial report — completed cells keep their bit-exact
+// metrics, in-flight cells are collected as cancelled failures, cells that
+// never started are marked "cancelled before start" — together with an
+// error wrapping sim.ErrCancelled.
+func (e *Engine) RunContext(ctx context.Context, grid Grid) (*Report, error) {
+	cells := grid.Cells()
+	seq, err := e.Stream(ctx, grid)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]CellResult, len(cells))
+	seen := make([]bool, len(cells))
+	for r := range seq {
+		if r.Cell.Index >= 0 && r.Cell.Index < len(results) {
+			results[r.Cell.Index] = r
+			seen[r.Cell.Index] = true
+		}
+	}
+	if err := context.Cause(ctx); err != nil {
+		for i, ok := range seen {
+			if !ok {
+				results[i] = CellResult{Cell: normalizedCell(cells[i]), Err: "campaign: cancelled before start"}
+			}
+		}
+		return &Report{BaseSeed: e.BaseSeed, Cells: results},
+			fmt.Errorf("campaign: %w (%w)", sim.ErrCancelled, err)
+	}
+	return &Report{BaseSeed: e.BaseSeed, Cells: results}, nil
+}
+
+// Stream executes the grid across the worker pool and returns an iterator
+// that yields every CellResult as its worker finishes — completion order,
+// not cell order, which is what makes live progress reporting possible
+// while long cells are still running. Collect into index order (RunContext
+// does) to recover the deterministic report.
+//
+// Cancelling the context stops workers from starting new cells and cancels
+// the in-flight simulations (each is collected as a failed cell); the pool
+// always drains cleanly — no goroutine outlives the iterator. Breaking out
+// of the iteration early behaves like cancellation.
+//
+// The returned error is non-nil only for an empty grid; per-cell failures
+// are yielded, never returned.
+func (e *Engine) Stream(ctx context.Context, grid Grid) (iter.Seq[CellResult], error) {
 	cells := grid.Cells()
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("campaign: empty grid")
@@ -381,11 +446,64 @@ func (e *Engine) Run(grid Grid) (*Report, error) {
 	e.mu.Lock()
 	e.done, e.total = 0, len(cells)
 	e.mu.Unlock()
-	results := make([]CellResult, len(cells))
-	e.forEach(len(cells), func(i int) {
-		results[i] = e.runCell(cells[i])
-	})
-	return &Report{BaseSeed: e.BaseSeed, Cells: results}, nil
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	return func(yield func(CellResult) bool) {
+		ictx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		out := make(chan CellResult)
+		// abandoned is closed only when the consumer breaks out of the
+		// iteration — the one case where nobody will ever receive again.
+		// Context cancellation deliberately does NOT unblock the send:
+		// the consumer keeps draining until close(out), and a cell that
+		// finished around the cancellation instant must still be
+		// delivered (dropping it would mislabel a completed cell as
+		// never-started in the collected report).
+		abandoned := make(chan struct{})
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			next int
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= len(cells) || ictx.Err() != nil {
+						return
+					}
+					select {
+					case out <- e.runCell(ictx, cells[i]):
+					case <-abandoned:
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(out)
+		}()
+		for r := range out {
+			if !yield(r) {
+				cancel()
+				close(abandoned)
+				for range out { // drain until the pool exits
+				}
+				return
+			}
+		}
+	}, nil
 }
 
 // RunAll is the lower-level primitive the experiments package drives: it
@@ -393,14 +511,14 @@ func (e *Engine) Run(grid Grid) (*Report, error) {
 // returns results in input order. Unlike Run it performs no seed derivation
 // and keeps full results (including traces when opts[i].Record is set) —
 // the caller owns the memory consequences.
-func (e *Engine) RunAll(opts []sim.Options) ([]*sim.Result, []error) {
+func (e *Engine) RunAll(ctx context.Context, opts []sim.Options) ([]*sim.Result, []error) {
 	if e.Runner == nil {
 		e.Runner = sim.NewRunner()
 	}
 	results := make([]*sim.Result, len(opts))
 	errs := make([]error, len(opts))
 	e.forEach(len(opts), func(i int) {
-		results[i], errs[i] = runSafely(e.Runner, opts[i])
+		results[i], errs[i] = runSafely(ctx, e.Runner, opts[i])
 	})
 	return results, errs
 }
@@ -446,8 +564,8 @@ func (e *Engine) forEach(n int, fn func(i int)) {
 
 // runCell executes one cell, translating every failure mode into a
 // collected CellResult.
-func (e *Engine) runCell(c Cell) CellResult {
-	runner, models, err := e.deviceFor(c.Platform)
+func (e *Engine) runCell(ctx context.Context, c Cell) CellResult {
+	runner, models, err := e.deviceFor(ctx, c.Platform)
 	if err != nil {
 		return CellResult{Cell: c, Err: err.Error()}
 	}
@@ -491,7 +609,7 @@ func (e *Engine) runCell(c Cell) CellResult {
 		opt.Model = models.Thermal
 		opt.PowerModel = models.Power
 	}
-	res, err := runSafely(runner, opt)
+	res, err := runSafely(ctx, runner, opt)
 	done := CellResult{Cell: c}
 	if err != nil {
 		done.Err = err.Error()
@@ -514,11 +632,11 @@ func (e *Engine) notify(r CellResult) {
 
 // runSafely runs one simulation and converts panics into errors, so a
 // pathological cell cannot take the whole sweep down.
-func runSafely(r *sim.Runner, opt sim.Options) (res *sim.Result, err error) {
+func runSafely(ctx context.Context, r *sim.Runner, opt sim.Options) (res *sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("campaign: cell panicked: %v", p)
 		}
 	}()
-	return r.Run(opt)
+	return r.Run(ctx, opt)
 }

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -20,7 +21,7 @@ var (
 func testModels(t *testing.T) *sim.Characterization {
 	t.Helper()
 	modelsOnce.Do(func() {
-		models, modelsErr = sim.NewRunner().Characterize(1)
+		models, modelsErr = sim.NewRunner().Characterize(context.Background(), 1)
 	})
 	if modelsErr != nil {
 		t.Fatalf("characterize: %v", modelsErr)
@@ -236,7 +237,7 @@ func TestRunAllOrderAndErrors(t *testing.T) {
 		{Policy: sim.PolicyNoFan, Bench: b, Seed: 2},
 	}
 	eng := &Engine{Workers: 3}
-	results, errs := eng.RunAll(opts)
+	results, errs := eng.RunAll(context.Background(), opts)
 	if results[0] == nil || errs[0] != nil {
 		t.Errorf("opt 0: res=%v err=%v", results[0], errs[0])
 	}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -86,7 +87,7 @@ func TestGoldenTraces(t *testing.T) {
 	for _, workers := range []int{1, 4, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			eng := &Engine{Workers: workers}
-			results, errs := eng.RunAll(opts)
+			results, errs := eng.RunAll(context.Background(), opts)
 			for i, g := range goldenCases {
 				if errs[i] != nil {
 					t.Errorf("%s: %v", g.scenario, errs[i])

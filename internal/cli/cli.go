@@ -1,0 +1,78 @@
+// Package cli holds the conventions shared by every command in cmd/: the
+// sentinel-error to exit-code mapping and the live progress observer, so
+// the next sentinel (or a change to the exit conventions) is edited once.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Exit prints the error prefixed with the tool name and terminates with
+// the conventional code: unknown benchmark/scenario/platform names are
+// usage errors (exit 2, after printing listHint when non-empty),
+// cancellation exits 130 like any interrupted process, and everything
+// else is a runtime failure (exit 1).
+func Exit(tool string, err error, listHint string) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	switch {
+	case errors.Is(err, workload.ErrUnknown) ||
+		errors.Is(err, scenario.ErrUnknown) ||
+		errors.Is(err, platform.ErrUnknown):
+		if listHint != "" {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", tool, listHint)
+		}
+		os.Exit(2)
+	case errors.Is(err, sim.ErrCancelled) || errors.Is(err, context.Canceled):
+		os.Exit(130)
+	}
+	os.Exit(1)
+}
+
+// Cancelled reports whether the error is the cancellation of a run — the
+// case where a CLI still reports partial results before exiting 130.
+func Cancelled(err error) bool {
+	return errors.Is(err, sim.ErrCancelled) || errors.Is(err, context.Canceled)
+}
+
+// RunPartial runs one simulation and normalizes the interrupted case for
+// the CLIs: the progress line is terminated (progressDone may be nil), a
+// cancelled run comes back with BOTH its partial result and the
+// cancellation error — so the caller can report metrics and write the
+// partial trace before exiting 130 — and any other failure returns a nil
+// result.
+func RunPartial(ctx context.Context, r *sim.Runner, opt sim.Options, progressDone func()) (*sim.Result, error) {
+	res, err := r.Run(ctx, opt)
+	if progressDone != nil {
+		progressDone()
+	}
+	if err != nil && !(Cancelled(err) && res != nil) {
+		return nil, err
+	}
+	return res, err
+}
+
+// Progress returns a per-interval observer that rewrites one compact
+// telemetry line on w every `every` control intervals. Call Done (the
+// second return) after the run to terminate the line.
+func Progress(w io.Writer, every int) (func(sim.Sample), func()) {
+	if every < 1 {
+		every = 1
+	}
+	obs := func(s sim.Sample) {
+		if s.Step%every == 0 {
+			fmt.Fprintf(w, "\rt=%6.1fs  %5.1fC  %4.2fGHz  %5.2fW  cores=%.0f ",
+				s.Time, s.MaxTemp, s.FreqGHz, s.Power, s.Cores)
+		}
+	}
+	done := func() { fmt.Fprintln(w) }
+	return obs, done
+}

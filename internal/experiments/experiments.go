@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -111,6 +112,7 @@ type Context struct {
 	Char   *sim.Characterization
 	Seed   int64
 
+	ctx    context.Context
 	engine *campaign.Engine
 
 	mu    sync.Mutex
@@ -118,15 +120,18 @@ type Context struct {
 }
 
 // NewContext builds the device and runs the full Chapter 4 characterization
-// once (furnace + per-resource PRBS identification).
-func NewContext(seed int64) (*Context, error) {
+// once (furnace + per-resource PRBS identification). The context cancels
+// both the characterization and every simulation run through the returned
+// Context — experiment regeneration is minutes of work, so CLIs pass a
+// signal-bound context for SIGINT-clean shutdown.
+func NewContext(ctx context.Context, seed int64) (*Context, error) {
 	r := sim.NewRunner()
-	ch, err := r.Characterize(seed)
+	ch, err := r.Characterize(ctx, seed)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: characterization failed: %w", err)
 	}
 	return &Context{
-		Runner: r, Char: ch, Seed: seed,
+		Runner: r, Char: ch, Seed: seed, ctx: ctx,
 		engine: &campaign.Engine{Runner: r, Models: ch, BaseSeed: seed},
 		cache:  map[string]*sim.Result{},
 	}, nil
@@ -190,7 +195,7 @@ func (c *Context) prefetchBenches(benches []workload.Benchmark, pols []sim.Polic
 	for i, m := range missing {
 		opts[i] = m.opts
 	}
-	results, errs := c.engine.RunAll(opts)
+	results, errs := c.engine.RunAll(c.ctx, opts)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i, m := range missing {
@@ -212,7 +217,7 @@ func (c *Context) runBench(bench workload.Benchmark, pol sim.Policy) (*sim.Resul
 		return res, nil
 	}
 	c.mu.Unlock()
-	res, err := c.Runner.Run(c.options(bench, pol))
+	res, err := c.Runner.Run(c.ctx, c.options(bench, pol))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s under %v: %w", bench.Name, pol, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ var sharedCtx *Context
 func ctx(t *testing.T) *Context {
 	t.Helper()
 	if sharedCtx == nil {
-		c, err := NewContext(1)
+		c, err := NewContext(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("NewContext: %v", err)
 		}

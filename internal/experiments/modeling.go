@@ -356,7 +356,7 @@ func runFig4_10(c *Context) (*Report, error) {
 	t := Table{Columns: []string{"horizon (s)", "mean error", "max error"}}
 	series := &trace.Series{Name: "mean error (%)"}
 	for _, horizon := range []int{1, 5, 10, 20, 30, 40, 50} {
-		res, err := c.Runner.Run(sim.Options{
+		res, err := c.Runner.Run(c.ctx, sim.Options{
 			Policy: sim.PolicyNoFan, Bench: b, Seed: c.Seed + 5,
 			Model: c.Char.Thermal, PowerModel: c.Char.Power,
 			PredHorizon: horizon,

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,6 +40,11 @@ func MustRegister(d *Descriptor) {
 	}
 }
 
+// ErrUnknown is the sentinel wrapped by every "no such platform" error, so
+// callers can distinguish a bad profile name from a failed run with
+// errors.Is instead of string matching.
+var ErrUnknown = errors.New("unknown platform")
+
 // ByName returns the registered descriptor. The returned value is shared
 // and must be treated as read-only.
 func ByName(name string) (*Descriptor, error) {
@@ -47,7 +53,7 @@ func ByName(name string) (*Descriptor, error) {
 	if d, ok := registry[name]; ok {
 		return d, nil
 	}
-	return nil, fmt.Errorf("platform: unknown platform %q (known: %v)", name, namesLocked())
+	return nil, fmt.Errorf("platform: %w %q (known: %v)", ErrUnknown, name, namesLocked())
 }
 
 // Names returns the registered platform names: the default platform first,

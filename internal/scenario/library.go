@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -98,6 +99,11 @@ func Library() []Spec {
 	}
 }
 
+// ErrUnknown is the sentinel wrapped by every "no such scenario" error, so
+// callers can distinguish a bad scenario name from a failed run with
+// errors.Is instead of string matching.
+var ErrUnknown = errors.New("unknown scenario")
+
 // ByName returns the named library scenario.
 func ByName(name string) (Spec, error) {
 	for _, s := range Library() {
@@ -105,7 +111,7 @@ func ByName(name string) (Spec, error) {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %v)", name, Names())
+	return Spec{}, fmt.Errorf("scenario: %w %q (known: %v)", ErrUnknown, name, Names())
 }
 
 // Names returns the library scenario names, sorted.

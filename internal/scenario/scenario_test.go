@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -207,7 +208,7 @@ func TestReplayReproducesRun(t *testing.T) {
 	}
 	runner := sim.NewRunner()
 	opt := sim.Options{Policy: sim.PolicyFan, Script: script, Seed: 7, Record: true}
-	orig, err := runner.Run(opt)
+	orig, err := runner.Run(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestReplayReproducesRun(t *testing.T) {
 		t.Errorf("replay duration = %g, want %g", replay.Duration(), script.Duration())
 	}
 
-	fresh, err := runner.Run(sim.Options{Policy: sim.PolicyFan, Script: replay, Seed: 7, Record: true})
+	fresh, err := runner.Run(context.Background(), sim.Options{Policy: sim.PolicyFan, Script: replay, Seed: 7, Record: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestReplayWrongSeedDiverges(t *testing.T) {
 		t.Fatal(err)
 	}
 	runner := sim.NewRunner()
-	orig, err := runner.Run(sim.Options{Policy: sim.PolicyNoFan, Script: script, Seed: 1, Record: true})
+	orig, err := runner.Run(context.Background(), sim.Options{Policy: sim.PolicyNoFan, Script: script, Seed: 1, Record: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestReplayWrongSeedDiverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := runner.Run(sim.Options{Policy: sim.PolicyNoFan, Script: replay, Seed: 2, Record: true})
+	fresh, err := runner.Run(context.Background(), sim.Options{Policy: sim.PolicyNoFan, Script: replay, Seed: 2, Record: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestReplayAtCoarsePeriod(t *testing.T) {
 		t.Fatal(err)
 	}
 	runner := sim.NewRunner()
-	orig, err := runner.Run(sim.Options{Policy: sim.PolicyFan, Script: script, Seed: 4, ControlPeriod: 0.5, Record: true})
+	orig, err := runner.Run(context.Background(), sim.Options{Policy: sim.PolicyFan, Script: script, Seed: 4, ControlPeriod: 0.5, Record: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestReplayAtCoarsePeriod(t *testing.T) {
 	if replay.Period() != 0.5 {
 		t.Fatalf("inferred period = %g, want 0.5", replay.Period())
 	}
-	fresh, err := runner.Run(sim.Options{Policy: sim.PolicyFan, Script: replay, Seed: 4, ControlPeriod: replay.Period(), Record: true})
+	fresh, err := runner.Run(context.Background(), sim.Options{Policy: sim.PolicyFan, Script: replay, Seed: 4, ControlPeriod: replay.Period(), Record: true})
 	if err != nil {
 		t.Fatal(err)
 	}

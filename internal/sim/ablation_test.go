@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/dtpm"
@@ -18,7 +20,7 @@ func ablationResult(t *testing.T, mutate func(*dtpm.Config)) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewRunner().Run(Options{
+	res, err := NewRunner().Run(context.Background(), Options{
 		Policy: PolicyDTPM, Bench: b, Seed: 5,
 		Model: ch.Thermal, PowerModel: ch.Power, DTPM: &cfg,
 	})
@@ -83,7 +85,7 @@ func TestAblationAsymMargin(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := NewRunner().Run(Options{
+		res, err := NewRunner().Run(context.Background(), Options{
 			Policy: PolicyDTPM, Bench: b, Seed: 5,
 			Model: ch.Thermal, PowerModel: ch.Power, DTPM: &cfg,
 		})

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/sensor"
@@ -18,15 +20,17 @@ type Characterization struct {
 // the runner's simulated device: the furnace leakage characterization and
 // the per-resource PRBS thermal identification. The returned models are the
 // ones the DTPM controller deploys (they come from noisy sensor data, not
-// from the ground truth).
-func (r *Runner) Characterize(seed int64) (*Characterization, error) {
-	return r.CharacterizeWithTs(seed, 0.1)
+// from the ground truth). The context aborts the flow between its stages
+// (furnace sweeps and PRBS experiments).
+func (r *Runner) Characterize(ctx context.Context, seed int64) (*Characterization, error) {
+	return r.CharacterizeWithTs(ctx, seed, 0.1)
 }
 
 // CharacterizeWithTs is Characterize with an explicit sampling period, for
 // running the control loop at periods other than the paper's 100 ms.
-func (r *Runner) CharacterizeWithTs(seed int64, ts float64) (*Characterization, error) {
+func (r *Runner) CharacterizeWithTs(ctx context.Context, seed int64, ts float64) (*Characterization, error) {
 	rig := &sysid.Rig{
+		Ctx:     ctx,
 		Desc:    r.Desc,
 		GT:      r.GT,
 		Thermal: r.Thermal,

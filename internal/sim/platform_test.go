@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -19,7 +21,7 @@ func testPlatformRun(t *testing.T, name string) {
 		t.Fatal(err)
 	}
 	r := NewRunnerFor(desc)
-	ch, err := r.Characterize(1)
+	ch, err := r.Characterize(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("%s: characterize: %v", name, err)
 	}
@@ -34,7 +36,7 @@ func testPlatformRun(t *testing.T, name string) {
 		t.Fatal(err)
 	}
 	for _, pol := range Policies() {
-		res, err := r.Run(Options{
+		res, err := r.Run(context.Background(), Options{
 			Policy: pol, Bench: bench, Seed: 1,
 			Model: ch.Thermal, PowerModel: ch.Power,
 		})
@@ -80,11 +82,11 @@ func TestFanlessPlatformNeverSpinsAFan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withFan, err := r.Run(Options{Policy: PolicyFan, Bench: bench, Seed: 3})
+	withFan, err := r.Run(context.Background(), Options{Policy: PolicyFan, Bench: bench, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noFan, err := r.Run(Options{Policy: PolicyNoFan, Bench: bench, Seed: 3})
+	noFan, err := r.Run(context.Background(), Options{Policy: PolicyNoFan, Bench: bench, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func TestFanlessPlatformNeverSpinsAFan(t *testing.T) {
 // different order.
 func TestModelPlatformMismatchRejected(t *testing.T) {
 	exynos := NewRunner()
-	ch, err := exynos.Characterize(1)
+	ch, err := exynos.Characterize(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestModelPlatformMismatchRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = NewRunnerFor(tablet).Run(Options{
+	_, err = NewRunnerFor(tablet).Run(context.Background(), Options{
 		Policy: PolicyDTPM, Bench: bench, Seed: 1,
 		Model: ch.Thermal, PowerModel: ch.Power,
 	})
@@ -132,7 +134,7 @@ func TestSingleClusterNeverMigrates(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := NewRunnerFor(desc)
-	ch, err := r.Characterize(2)
+	ch, err := r.Characterize(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func TestSingleClusterNeverMigrates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.Run(Options{
+	res, err := r.Run(context.Background(), Options{
 		Policy: PolicyDTPM, Bench: bench, Seed: 2, TMax: 55,
 		Model: ch.Thermal, PowerModel: ch.Power, Record: true,
 	})

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/sensor"
@@ -19,7 +21,7 @@ func TestDTPMWithDegradedSensors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.Run(Options{
+	res, err := r.Run(context.Background(), Options{
 		Policy: PolicyDTPM, Bench: b, Seed: 13,
 		Model: ch.Thermal, PowerModel: ch.Power,
 	})
@@ -47,7 +49,7 @@ func TestDTPMWithIdealSensors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.Run(Options{
+	res, err := r.Run(context.Background(), Options{
 		Policy: PolicyDTPM, Bench: b, Seed: 13,
 		Model: ch.Thermal, PowerModel: ch.Power,
 	})
@@ -71,7 +73,7 @@ func TestSeedInsensitivity(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, seed := range []int64{2, 7, 23, 101} {
-		res, err := NewRunner().Run(Options{
+		res, err := NewRunner().Run(context.Background(), Options{
 			Policy: PolicyDTPM, Bench: b, Seed: seed,
 			Model: ch.Thermal, PowerModel: ch.Power,
 		})
@@ -93,7 +95,7 @@ func TestShortControlPeriod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewRunner().Run(Options{
+	res, err := NewRunner().Run(context.Background(), Options{
 		Policy: PolicyDTPM, Bench: b, Seed: 5, ControlPeriod: 0.05,
 		Model: ch50.Thermal, PowerModel: ch50.Power,
 	})
@@ -110,7 +112,7 @@ func TestShortControlPeriod(t *testing.T) {
 func recharacterizeAt(t *testing.T, ts float64) *Characterization {
 	t.Helper()
 	r := NewRunner()
-	ch, err := r.CharacterizeWithTs(1, ts)
+	ch, err := r.CharacterizeWithTs(context.Background(), 1, ts)
 	if err != nil {
 		t.Fatalf("characterize at Ts=%v: %v", ts, err)
 	}

@@ -1,0 +1,52 @@
+package sim
+
+import "errors"
+
+// ErrCancelled reports that a run was stopped by context cancellation. The
+// error returned by Run wraps both this sentinel and the context's cause,
+// so callers can match either errors.Is(err, ErrCancelled) or
+// errors.Is(err, context.Canceled). The Result returned alongside it is the
+// well-defined partial result: every metric is computed over the control
+// intervals that completed, and with Options.Record set the recorder holds
+// exactly those intervals' rows.
+var ErrCancelled = errors.New("run cancelled")
+
+// ErrModelPlatformMismatch reports that the thermal model handed to a run
+// was identified on a different platform than the one the run simulates —
+// either the model order does not match the platform's hotspot count, or
+// the model is stamped with another platform's name.
+var ErrModelPlatformMismatch = errors.New("thermal model does not match platform")
+
+// Sample is the observable state of one control interval — the same values
+// a recorded run stores in Result.Rec, delivered live. Field for field it
+// mirrors the recorder's output series ("maxtemp", "freq_ghz", "power_w",
+// "fan", "cores", "cluster", "gpu_mhz", "board", "bigpower_w"): the
+// recorder is fed from the very Sample handed to the observer, so a
+// streamed sample is bit-identical to the trace row at the same step by
+// construction.
+type Sample struct {
+	// Step is the 0-based control-interval index.
+	Step int
+	// Time is the simulation time at the interval start (s) — the recorder
+	// timestamp of the matching trace rows.
+	Time float64
+	// MaxTemp is the hottest core's true temperature (°C).
+	MaxTemp float64
+	// FreqGHz is the active CPU cluster's frequency.
+	FreqGHz float64
+	// Power is the platform power drawn over the interval (W).
+	Power float64
+	// FanSpeed is the normalized fan speed in [0, 1] (0 on fanless
+	// platforms and fan-off policies).
+	FanSpeed float64
+	// Cores is the active cluster's online core count.
+	Cores float64
+	// Cluster identifies the active cluster (0 = big, 1 = little).
+	Cluster float64
+	// GPUMHz is the GPU frequency.
+	GPUMHz float64
+	// BoardTemp is the board node temperature (°C).
+	BoardTemp float64
+	// BigPower is the big-cluster domain power (W).
+	BigPower float64
+}

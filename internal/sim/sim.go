@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -118,6 +119,13 @@ type Options struct {
 	// DTPM overrides the controller configuration (nil = paper defaults
 	// with Options.TMax applied). Used by the ablation studies.
 	DTPM *dtpm.Config
+	// Observer, when set, is invoked synchronously at the end of every
+	// control interval with that interval's Sample — the streaming-session
+	// hook. It runs on the simulation goroutine, so a slow observer slows
+	// the run (which is what makes live observation lock-step with the
+	// simulation). A nil observer costs nothing: the hot loop stays
+	// allocation-free, which the BenchmarkSimCell gate enforces.
+	Observer func(Sample)
 	// Script, when set, drives a time-varying scenario instead of Bench:
 	// the workload, governor, GPU demand, activity factors, and ambient
 	// temperature are re-read from the script every control interval, and
@@ -268,8 +276,13 @@ func (r *Runner) computeIdleState() thermal.State {
 	return st
 }
 
-// Run executes one benchmark under one policy.
-func (r *Runner) Run(opt Options) (*Result, error) {
+// Run executes one benchmark under one policy. The context cancels the run
+// between control intervals: on cancellation Run returns the partial Result
+// over the completed intervals together with an error wrapping both
+// ErrCancelled and the context's cause. With an Options.Observer attached,
+// the observer has then seen exactly the intervals the partial result (and
+// its recorder, when recording) contains.
+func (r *Runner) Run(ctx context.Context, opt Options) (*Result, error) {
 	if opt.ControlPeriod == 0 {
 		opt.ControlPeriod = 0.1
 	}
@@ -312,15 +325,15 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 
 	if opt.Model != nil {
 		if opt.Model.States() != nodes {
-			return nil, fmt.Errorf("sim: thermal model order %d does not match platform %s (%d hotspot nodes) — characterize the same platform the run uses",
-				opt.Model.States(), desc.Name, nodes)
+			return nil, fmt.Errorf("sim: %w: model order %d vs platform %s (%d hotspot nodes) — characterize the same platform the run uses",
+				ErrModelPlatformMismatch, opt.Model.States(), desc.Name, nodes)
 		}
 		// Same order is not enough: two profiles can both carry, say, four
 		// hotspots while their silicon constants differ completely. A model
 		// stamped with its origin platform must only drive that platform.
 		if opt.Model.Platform != "" && opt.Model.Platform != desc.Name {
-			return nil, fmt.Errorf("sim: thermal model was identified on platform %s, refusing to drive %s with it",
-				opt.Model.Platform, desc.Name)
+			return nil, fmt.Errorf("sim: %w: model was identified on platform %s, refusing to drive %s with it",
+				ErrModelPlatformMismatch, opt.Model.Platform, desc.Name)
 		}
 	}
 	var ctrl *dtpm.Controller
@@ -455,8 +468,24 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 	b0 := r.GT.Evaluate(chip, idleAct, st.Core, st.Board)
 	prevPowers = b0.Domain
 
+	// Cancellation is checked at the top of every control interval against
+	// the context's done channel, fetched once: Done() on a cancellable
+	// context allocates its channel lazily, and per-step Err() would take
+	// its lock. context.Background keeps done nil, so the batch path pays
+	// one never-ready select case per step and nothing else.
+	done := ctx.Done()
+	cancelled := false
+
 	elapsed := 0.0
 	for k := 0; k < steps; k++ {
+		select {
+		case <-done:
+			cancelled = true
+		default:
+		}
+		if cancelled {
+			break
+		}
 		// Scripted scenarios re-read their conditions every interval:
 		// governor swaps take effect like a scaling_governor write (fresh
 		// instance, only when the name changes, so replayed swaps land on
@@ -643,16 +672,38 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 		if trueMax > opt.TMax {
 			res.OverTMax += dt
 		}
-		if res.Rec != nil {
-			res.Rec.Record("maxtemp", elapsed, trueMax)
-			res.Rec.Record("freq_ghz", elapsed, active.Freq().GHz())
-			res.Rec.Record("power_w", elapsed, platPower)
-			res.Rec.Record("fan", elapsed, fanSpeed)
-			res.Rec.Record("cores", elapsed, float64(active.OnlineCount()))
-			res.Rec.Record("cluster", elapsed, float64(chip.ActiveKind()))
-			res.Rec.Record("gpu_mhz", elapsed, chip.GPUFreq().MHz())
-			res.Rec.Record("board", elapsed, st.Board)
-			res.Rec.Record("bigpower_w", elapsed, breakdown.Domain[platform.Big])
+		// One Sample per interval feeds BOTH the recorder and the observer,
+		// so a streamed sample and the recorded trace row can never diverge.
+		// The struct lives on the stack: with neither recording nor an
+		// observer this block is free.
+		if res.Rec != nil || opt.Observer != nil {
+			smp := Sample{
+				Step:      k,
+				Time:      elapsed,
+				MaxTemp:   trueMax,
+				FreqGHz:   active.Freq().GHz(),
+				Power:     platPower,
+				FanSpeed:  fanSpeed,
+				Cores:     float64(active.OnlineCount()),
+				Cluster:   float64(chip.ActiveKind()),
+				GPUMHz:    chip.GPUFreq().MHz(),
+				BoardTemp: st.Board,
+				BigPower:  breakdown.Domain[platform.Big],
+			}
+			if res.Rec != nil {
+				res.Rec.Record("maxtemp", smp.Time, smp.MaxTemp)
+				res.Rec.Record("freq_ghz", smp.Time, smp.FreqGHz)
+				res.Rec.Record("power_w", smp.Time, smp.Power)
+				res.Rec.Record("fan", smp.Time, smp.FanSpeed)
+				res.Rec.Record("cores", smp.Time, smp.Cores)
+				res.Rec.Record("cluster", smp.Time, smp.Cluster)
+				res.Rec.Record("gpu_mhz", smp.Time, smp.GPUMHz)
+				res.Rec.Record("board", smp.Time, smp.BoardTemp)
+				res.Rec.Record("bigpower_w", smp.Time, smp.BigPower)
+			}
+			if opt.Observer != nil {
+				opt.Observer(smp)
+			}
 		}
 		elapsed += dt
 
@@ -675,16 +726,21 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 	} else {
 		res.ExecTime = elapsed
 	}
-	res.AvgPower = energy / elapsed
 	res.Energy = energy
-	res.MaxTemp = stats.Max(maxTempSeries)
-	res.AvgTemp = stats.Mean(maxTempSeries)
-	res.TempVar = stats.Variance(maxTempSeries)
-	res.Spread = stats.Spread(maxTempSeries)
-	ss := steadyWindow(maxTempSeries, opt.TMax)
-	res.SSAvgTemp = stats.Mean(ss)
-	res.SSTempVar = stats.Variance(ss)
-	res.SSSpread = stats.Spread(ss)
+	// A run cancelled before its first interval completed has no samples;
+	// leave the zero-value metrics rather than dividing by zero elapsed
+	// time or taking the max of an empty series.
+	if len(maxTempSeries) > 0 {
+		res.AvgPower = energy / elapsed
+		res.MaxTemp = stats.Max(maxTempSeries)
+		res.AvgTemp = stats.Mean(maxTempSeries)
+		res.TempVar = stats.Variance(maxTempSeries)
+		res.Spread = stats.Spread(maxTempSeries)
+		ss := steadyWindow(maxTempSeries, opt.TMax)
+		res.SSAvgTemp = stats.Mean(ss)
+		res.SSTempVar = stats.Variance(ss)
+		res.SSSpread = stats.Spread(ss)
+	}
 
 	// Close the prediction accounting: compare each prediction with the
 	// true temperature measured `horizon` intervals later.
@@ -713,6 +769,9 @@ func (r *Runner) Run(opt Options) (*Result, error) {
 			res.PredMaxPct = worst
 			res.PredMaxAbsC = worstAbs
 		}
+	}
+	if cancelled {
+		return res, fmt.Errorf("sim: %w after %.1f s (%w)", ErrCancelled, elapsed, context.Cause(ctx))
 	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -16,7 +18,7 @@ var sharedChar *Characterization
 func characterize(t *testing.T) *Characterization {
 	t.Helper()
 	if sharedChar == nil {
-		ch, err := NewRunner().Characterize(1)
+		ch, err := NewRunner().Characterize(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("Characterize: %v", err)
 		}
@@ -33,7 +35,7 @@ func run(t *testing.T, bench string, pol Policy) *Result {
 		t.Fatal(err)
 	}
 	r := NewRunner()
-	res, err := r.Run(Options{Policy: pol, Bench: b, Seed: 5, Model: ch.Thermal, PowerModel: ch.Power})
+	res, err := r.Run(context.Background(), Options{Policy: pol, Bench: b, Seed: 5, Model: ch.Thermal, PowerModel: ch.Power})
 	if err != nil {
 		t.Fatalf("Run(%s, %v): %v", bench, pol, err)
 	}
@@ -57,7 +59,7 @@ func TestPolicyString(t *testing.T) {
 
 func TestDTPMRequiresModel(t *testing.T) {
 	b, _ := workload.ByName("dijkstra")
-	_, err := NewRunner().Run(Options{Policy: PolicyDTPM, Bench: b})
+	_, err := NewRunner().Run(context.Background(), Options{Policy: PolicyDTPM, Bench: b})
 	if err == nil {
 		t.Fatal("PolicyDTPM without a model should fail")
 	}
@@ -65,7 +67,7 @@ func TestDTPMRequiresModel(t *testing.T) {
 
 func TestUnknownGovernor(t *testing.T) {
 	b, _ := workload.ByName("dijkstra")
-	_, err := NewRunner().Run(Options{Policy: PolicyNoFan, Bench: b, Governor: "warp-speed"})
+	_, err := NewRunner().Run(context.Background(), Options{Policy: PolicyNoFan, Bench: b, Governor: "warp-speed"})
 	if err == nil {
 		t.Fatal("unknown governor should fail")
 	}
@@ -209,7 +211,7 @@ func TestReactiveWorseThanDTPM(t *testing.T) {
 func TestRecorderSeries(t *testing.T) {
 	ch := characterize(t)
 	b, _ := workload.ByName("dijkstra")
-	res, err := NewRunner().Run(Options{
+	res, err := NewRunner().Run(context.Background(), Options{
 		Policy: PolicyDTPM, Bench: b, Seed: 5, Record: true,
 		Model: ch.Thermal, PowerModel: ch.Power,
 	})
@@ -229,11 +231,11 @@ func TestDeterminism(t *testing.T) {
 	ch := characterize(t)
 	b, _ := workload.ByName("sha")
 	opt := Options{Policy: PolicyDTPM, Bench: b, Seed: 42, Model: ch.Thermal, PowerModel: ch.Power}
-	r1, err := NewRunner().Run(opt)
+	r1, err := NewRunner().Run(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := NewRunner().Run(opt)
+	r2, err := NewRunner().Run(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

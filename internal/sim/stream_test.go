@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRunObserverMatchesRecorder pins the Sample contract at the sim
+// layer: the observer sees exactly the values the recorder stores, row for
+// row, because both are fed from the same struct.
+func TestRunObserverMatchesRecorder(t *testing.T) {
+	b, err := workload.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []Sample
+	res, err := NewRunner().Run(context.Background(), Options{
+		Policy: PolicyFan, Bench: b, Seed: 2, Record: true,
+		Observer: func(s Sample) { samples = append(samples, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]func(Sample) float64{
+		"maxtemp":    func(s Sample) float64 { return s.MaxTemp },
+		"freq_ghz":   func(s Sample) float64 { return s.FreqGHz },
+		"power_w":    func(s Sample) float64 { return s.Power },
+		"fan":        func(s Sample) float64 { return s.FanSpeed },
+		"cores":      func(s Sample) float64 { return s.Cores },
+		"cluster":    func(s Sample) float64 { return s.Cluster },
+		"gpu_mhz":    func(s Sample) float64 { return s.GPUMHz },
+		"board":      func(s Sample) float64 { return s.BoardTemp },
+		"bigpower_w": func(s Sample) float64 { return s.BigPower },
+	}
+	for name, field := range checks {
+		series := res.Rec.Series(name)
+		if series == nil || series.Len() != len(samples) {
+			t.Fatalf("series %q: %v rows vs %d samples", name, series, len(samples))
+		}
+		for i, s := range samples {
+			if series.Vals[i] != field(s) || series.Times[i] != s.Time {
+				t.Fatalf("series %q row %d diverges from streamed sample", name, i)
+			}
+		}
+	}
+}
+
+// TestRunCancelledMidRun pins the partial-result contract: cancelling at
+// step k stops the loop at the top of step k+1, the observer has seen
+// exactly k+1 samples, the recorder holds exactly those rows, and the
+// error wraps both ErrCancelled and context.Canceled.
+func TestRunCancelledMidRun(t *testing.T) {
+	const cancelStep = 30
+	b, err := workload.ByName("dijkstra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	res, err := NewRunner().Run(ctx, Options{
+		Policy: PolicyNoFan, Bench: b, Seed: 1, Record: true,
+		Observer: func(s Sample) {
+			seen++
+			if s.Step == cancelStep {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap ErrCancelled and context.Canceled", err)
+	}
+	if res == nil || res.Completed {
+		t.Fatalf("partial result: %+v", res)
+	}
+	if seen != cancelStep+1 {
+		t.Fatalf("observer saw %d samples, want %d", seen, cancelStep+1)
+	}
+	if got := res.Rec.Series("maxtemp").Len(); got != cancelStep+1 {
+		t.Fatalf("partial trace has %d rows, want %d", got, cancelStep+1)
+	}
+	if math.Abs(res.ExecTime-float64(cancelStep+1)*0.1) > 1e-9 {
+		t.Errorf("partial ExecTime %g, want %g", res.ExecTime, float64(cancelStep+1)*0.1)
+	}
+	if res.AvgPower <= 0 || math.IsNaN(res.AvgPower) {
+		t.Errorf("partial AvgPower %g", res.AvgPower)
+	}
+}
+
+// TestRunCancelledBeforeFirstStep pins the zero-sample edge: a context
+// cancelled before the run starts yields a zero-metrics result (no NaN
+// from a 0/0 average), not a panic.
+func TestRunCancelledBeforeFirstStep(t *testing.T) {
+	b, err := workload.ByName("dijkstra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewRunner().Run(ctx, Options{Policy: PolicyNoFan, Bench: b, Seed: 1, Record: true})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("error = %v, want ErrCancelled", err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if res.ExecTime != 0 || res.Energy != 0 {
+		t.Errorf("zero-step result has exec=%g energy=%g", res.ExecTime, res.Energy)
+	}
+	if math.IsNaN(res.AvgPower) || math.IsInf(res.MaxTemp, 0) {
+		t.Errorf("zero-step metrics not well-defined: avgPower=%g maxTemp=%g", res.AvgPower, res.MaxTemp)
+	}
+}

@@ -1,6 +1,7 @@
 package sysid
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/platform"
@@ -13,6 +14,10 @@ import (
 // (ground-truth power + thermal models standing in for the silicon), the
 // sensors, and the sampling period.
 type Rig struct {
+	// Ctx, when set, aborts the characterization between its stages (each
+	// furnace sweep and each PRBS experiment checks it before starting).
+	// nil means context.Background.
+	Ctx context.Context
 	// Desc selects the platform under characterization (nil = the default
 	// Exynos 5410 board).
 	Desc    *platform.Descriptor
@@ -20,6 +25,14 @@ type Rig struct {
 	Thermal thermal.Params
 	Sensors *sensor.Bank
 	Ts      float64 // sampling period, seconds (the kernel's 100 ms)
+}
+
+// cancelled reports the rig context's error, if any.
+func (r *Rig) cancelled() error {
+	if r.Ctx == nil {
+		return nil
+	}
+	return r.Ctx.Err()
 }
 
 // NewRig returns the default experimental setup.
@@ -81,6 +94,9 @@ func singleCoreUtil(cores int, u float64) []float64 {
 // given big-cluster frequency; after settling, samplesPer sensor readings of
 // (hotspot temperature, big-rail power) are logged per setpoint.
 func (r *Rig) FurnaceTempSweep(setpointsC []float64, freq platform.KHz, samplesPer int) ([]FurnaceSample, error) {
+	if err := r.cancelled(); err != nil {
+		return nil, err
+	}
 	chip := platform.NewChipFor(r.desc())
 	if err := chip.Active().SetFreq(freq); err != nil {
 		return nil, err
@@ -118,6 +134,9 @@ func (r *Rig) FurnaceTempSweep(setpointsC []float64, freq platform.KHz, samplesP
 // furnace temperature, the light workload runs once per big-cluster DVFS
 // step; samplesPer readings are logged per step. The result feeds FitAlphaC.
 func (r *Rig) FurnaceFreqSweep(setpointC float64, samplesPer int) ([]FurnaceSample, error) {
+	if err := r.cancelled(); err != nil {
+		return nil, err
+	}
 	chip := platform.NewChipFor(r.desc())
 	act := lightActivity(chip.BigCluster.NumCores())
 	d := chip.Active().Domain
@@ -205,6 +224,9 @@ func DefaultPRBSConfig(res platform.Resource) PRBSConfig {
 // others stay constant or minimal (§4.2.1), and synchronized sensor samples
 // of T[k] and P[k] are recorded every Ts.
 func (r *Rig) CollectPRBS(cfg PRBSConfig) (*Dataset, error) {
+	if err := r.cancelled(); err != nil {
+		return nil, err
+	}
 	if cfg.Duration <= 0 || cfg.HoldSec <= 0 {
 		return nil, fmt.Errorf("sysid: invalid PRBS config %+v", cfg)
 	}

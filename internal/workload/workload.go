@@ -15,6 +15,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -138,6 +139,11 @@ func Table() []Benchmark {
 	}
 }
 
+// ErrUnknown is the sentinel wrapped by every "no such benchmark" error, so
+// callers can distinguish a bad workload name from a failed run with
+// errors.Is instead of string matching.
+var ErrUnknown = errors.New("unknown benchmark")
+
 // ByName returns the named benchmark from Table().
 func ByName(name string) (Benchmark, error) {
 	for _, b := range Table() {
@@ -145,7 +151,7 @@ func ByName(name string) (Benchmark, error) {
 			return b, nil
 		}
 	}
-	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	return Benchmark{}, fmt.Errorf("workload: %w %q", ErrUnknown, name)
 }
 
 // Names returns all benchmark names in table order.

@@ -9,16 +9,26 @@
 // evaluation (Chapter 6) plus the power-budget-distribution extension
 // (Chapter 7).
 //
-// Typical use:
+// Typical use — build one unified Spec from functional options and start a
+// context-aware session that streams per-control-interval samples:
 //
 //	dev := repro.NewDevice()
 //	models, err := dev.Characterize(1)        // §4: furnace + PRBS sysid
-//	res, err := dev.Run(repro.RunSpec{        // §6: one benchmark run
-//	    Benchmark: "templerun",
-//	    Policy:    repro.DTPM,
-//	    Models:    models,
-//	})
+//	session, err := dev.Start(ctx, repro.NewSpec(
+//	    repro.WithBenchmark("templerun"),     // §6: one benchmark run
+//	    repro.WithPolicy(repro.DTPM),
+//	    repro.WithModels(models),
+//	))
+//	for s := range session.Samples() {        // live 100 ms telemetry
+//	    fmt.Printf("t=%5.1fs %5.1f°C\n", s.Time, s.MaxTemp)
+//	}
+//	res, err := session.Result()
 //	fmt.Println(res.Summary())
+//
+// The same Spec drives every execution mode: WithScenario selects a
+// multi-phase usage scenario, WithTrace replays a recording, and campaigns
+// sweep grids of the same knobs. Cancelling the Start context stops the
+// run between control intervals with a well-defined partial Result.
 //
 // To regenerate a paper artifact:
 //
@@ -27,8 +37,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"iter"
 	"strings"
 
 	"repro/internal/budget"
@@ -158,7 +170,14 @@ func Platforms() []string { return platform.Names() }
 // and the per-resource PRBS thermal system identification (§4.2.1). The
 // models come from noisy sensor data, exactly as on hardware.
 func (d *Device) Characterize(seed int64) (*Models, error) {
-	ch, err := d.r.Characterize(seed)
+	return d.CharacterizeContext(context.Background(), seed)
+}
+
+// CharacterizeContext is Characterize with cancellation: the context
+// aborts the modeling flow between its stages (furnace sweeps and PRBS
+// identification experiments).
+func (d *Device) CharacterizeContext(ctx context.Context, seed int64) (*Models, error) {
+	ch, err := d.r.Characterize(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +185,11 @@ func (d *Device) Characterize(seed int64) (*Models, error) {
 }
 
 // RunSpec describes one benchmark run.
+//
+// Deprecated: RunSpec is the pre-streaming batch spec, kept so existing
+// callers keep compiling. New code builds the unified Spec with NewSpec
+// (WithBenchmark, WithPolicy, WithModels, ...) and runs it with
+// Device.Start — docs/api.md has the field-by-field migration table.
 type RunSpec struct {
 	// Benchmark is a Table 6.4 name; see Benchmarks().
 	Benchmark string
@@ -197,29 +221,40 @@ func (r *Result) Summary() string {
 		r.Bench, r.Policy, r.ExecTime, r.AvgPower, r.Energy, r.MaxTemp, r.AvgTemp, r.OverTMax, r.PredMeanPct)
 }
 
-// Run executes one benchmark under one policy.
+// Run executes one benchmark under one policy to completion. It is a thin
+// wrapper over Start with a background context — same simulation, same
+// Result, byte-identical traces.
 func (d *Device) Run(spec RunSpec) (*Result, error) {
-	b, err := workload.ByName(spec.Benchmark)
+	if spec.Benchmark == "" {
+		// Preserve the legacy error (and its ErrUnknownBenchmark sentinel)
+		// for an empty name instead of the unified spec's no-workload
+		// message, which talks about options this struct doesn't have.
+		_, err := workload.ByName(spec.Benchmark)
+		return nil, err
+	}
+	return d.runToCompletion(context.Background(), spec.unified())
+}
+
+// unified converts the deprecated batch spec to the unified Spec.
+func (spec RunSpec) unified() Spec {
+	return NewSpec(
+		WithBenchmark(spec.Benchmark),
+		WithPolicy(spec.Policy),
+		WithModels(spec.Models),
+		WithSeed(spec.Seed),
+		WithTMax(spec.TMax),
+		WithGovernor(spec.Governor),
+		WithRecord(spec.Record),
+	)
+}
+
+// runToCompletion is the shared batch path: Start, then block on Result.
+func (d *Device) runToCompletion(ctx context.Context, spec Spec) (*Result, error) {
+	session, err := d.Start(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
-	opt := sim.Options{
-		Policy:   spec.Policy,
-		Bench:    b,
-		Seed:     spec.Seed,
-		TMax:     spec.TMax,
-		Governor: spec.Governor,
-		Record:   spec.Record,
-	}
-	if spec.Models != nil {
-		opt.Model = spec.Models.c.Thermal
-		opt.PowerModel = spec.Models.c.Power
-	}
-	res, err := d.r.Run(opt)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Result: res}, nil
+	return session.Result()
 }
 
 // CampaignGrid declares a simulation campaign as the cartesian product of
@@ -234,24 +269,48 @@ type CampaignGrid = campaign.Grid
 // collected error) in deterministic cell order, exportable as JSON or CSV.
 type CampaignReport = campaign.Report
 
+// CellResult is the outcome of one campaign cell, yielded live by
+// StreamCampaign and collected into CampaignReport.
+type CellResult = campaign.CellResult
+
 // RunCampaign sweeps the grid across a worker pool (workers <= 0 means
 // GOMAXPROCS). Results are bit-identical at any parallelism level: each
 // cell derives its RNG stream from baseSeed and its own coordinates alone.
-// Cell failures are collected in the report, never aborting the sweep.
-func (d *Device) RunCampaign(grid CampaignGrid, models *Models, workers int, baseSeed int64) (*CampaignReport, error) {
+// Cell failures are collected in the report, never aborting the sweep. On
+// cancellation the partial report (completed cells intact, the rest marked
+// cancelled) comes back with an error wrapping ErrCancelled.
+func (d *Device) RunCampaign(ctx context.Context, grid CampaignGrid, models *Models, workers int, baseSeed int64) (*CampaignReport, error) {
+	return d.campaignEngine(models, workers, baseSeed).RunContext(ctx, grid)
+}
+
+// StreamCampaign sweeps the grid like RunCampaign but returns an iterator
+// that yields each CellResult as its worker finishes (completion order) —
+// live progress over a long sweep. Collecting the stream and sorting by
+// Cell.Index recovers exactly RunCampaign's deterministic report.
+// Cancelling the context stops new cells, cancels in-flight ones, and
+// drains the pool cleanly; breaking out of the loop behaves the same.
+func (d *Device) StreamCampaign(ctx context.Context, grid CampaignGrid, models *Models, workers int, baseSeed int64) (iter.Seq[CellResult], error) {
+	return d.campaignEngine(models, workers, baseSeed).Stream(ctx, grid)
+}
+
+func (d *Device) campaignEngine(models *Models, workers int, baseSeed int64) *campaign.Engine {
 	eng := &campaign.Engine{Workers: workers, Runner: d.r, BaseSeed: baseSeed}
 	if models != nil {
 		eng.Models = models.c
 	}
-	return eng.Run(grid)
+	return eng
 }
 
-// Compare runs the benchmark under every policy and reports each result,
-// in the §6.2 configuration order.
-func (d *Device) Compare(bench string, models *Models, seed int64) ([]*Result, error) {
-	var out []*Result
+// Compare runs the spec's workload under every policy — overriding only
+// the spec's policy field per run — and reports each result in the §6.2
+// configuration order. Because the whole unified spec carries over, every
+// knob (TMax, Governor, Record, seed, control period, even a scenario or
+// trace workload) propagates to all four runs; earlier versions silently
+// dropped everything but the benchmark name, models, and seed.
+func (d *Device) Compare(ctx context.Context, spec Spec) ([]*Result, error) {
+	out := make([]*Result, 0, 4)
 	for _, pol := range []Policy{WithFan, WithoutFan, Reactive, DTPM} {
-		res, err := d.Run(RunSpec{Benchmark: bench, Policy: pol, Models: models, Seed: seed})
+		res, err := d.runToCompletion(ctx, spec.withPolicyOverride(pol))
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +334,11 @@ func Scenarios() []string { return scenario.Names() }
 func ScenarioByName(name string) (ScenarioSpec, error) { return scenario.ByName(name) }
 
 // ScenarioRunSpec describes one scenario run.
+//
+// Deprecated: ScenarioRunSpec is the pre-streaming batch spec, kept so
+// existing callers keep compiling. New code builds the unified Spec with
+// NewSpec (WithScenario or WithScenarioSpec, WithPolicy, ...) and runs it
+// with Device.Start — docs/api.md has the field-by-field migration table.
 type ScenarioRunSpec struct {
 	// Scenario is a library scenario name (see Scenarios()); ignored when
 	// Spec is set.
@@ -299,42 +363,30 @@ type ScenarioRunSpec struct {
 	Record bool
 }
 
-// RunScenario executes one multi-phase scenario. The spec is validated
-// against the device's platform profile (thread counts the platform cannot
-// schedule are rejected), like the CLI and campaign paths.
+// RunScenario executes one multi-phase scenario to completion. The spec is
+// validated against the device's platform profile (thread counts the
+// platform cannot schedule are rejected), like the CLI and campaign paths.
+// It is a thin wrapper over Start with a background context.
 func (d *Device) RunScenario(spec ScenarioRunSpec) (*Result, error) {
-	s := spec.Spec
-	if s == nil {
-		named, err := scenario.ByName(spec.Scenario)
-		if err != nil {
-			return nil, err
-		}
-		s = &named
-	}
-	if err := scenario.ValidateFor(*s, d.r.Desc); err != nil {
+	if spec.Spec == nil && spec.Scenario == "" {
+		// Preserve the legacy error (and its ErrUnknownScenario sentinel)
+		// for an empty name, as in Run.
+		_, err := scenario.ByName(spec.Scenario)
 		return nil, err
 	}
-	script, err := scenario.Compile(*s)
-	if err != nil {
-		return nil, err
+	wl := WithScenario(spec.Scenario)
+	if spec.Spec != nil {
+		wl = WithScenarioSpec(spec.Spec)
 	}
-	opt := sim.Options{
-		Policy:   spec.Policy,
-		Script:   script,
-		Seed:     spec.Seed,
-		TMax:     spec.TMax,
-		Governor: spec.Governor,
-		Record:   spec.Record,
-	}
-	if spec.Models != nil {
-		opt.Model = spec.Models.c.Thermal
-		opt.PowerModel = spec.Models.c.Power
-	}
-	res, err := d.r.Run(opt)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Result: res}, nil
+	return d.runToCompletion(context.Background(), NewSpec(
+		wl,
+		WithPolicy(spec.Policy),
+		WithModels(spec.Models),
+		WithSeed(spec.Seed),
+		WithTMax(spec.TMax),
+		WithGovernor(spec.Governor),
+		WithRecord(spec.Record),
+	))
 }
 
 // TraceDiff re-exports the sample-by-sample trace comparison report.
@@ -354,30 +406,22 @@ func ReadTrace(r io.Reader) (*trace.Recorder, error) { return trace.ReadCSV(r) }
 //
 // The trace supplies the workload and the control period, so only the
 // spec's Policy, Models, Seed, TMax, and Governor fields apply here;
-// Scenario and Spec are ignored and the fresh run always records.
+// Scenario and Spec are ignored and the fresh run always records. It is a
+// thin wrapper over Start with a background context (WithTrace is the
+// streaming-capable form).
 func (d *Device) ReplayTrace(rec *trace.Recorder, spec ScenarioRunSpec) (*Result, *TraceDiff, error) {
-	script, err := scenario.FromTrace(rec, "replay")
+	res, err := d.runToCompletion(context.Background(), NewSpec(
+		WithTrace(rec),
+		WithPolicy(spec.Policy),
+		WithModels(spec.Models),
+		WithSeed(spec.Seed),
+		WithTMax(spec.TMax),
+		WithGovernor(spec.Governor),
+	))
 	if err != nil {
 		return nil, nil, err
 	}
-	opt := sim.Options{
-		Policy:        spec.Policy,
-		Script:        script,
-		Seed:          spec.Seed,
-		TMax:          spec.TMax,
-		Governor:      spec.Governor,
-		ControlPeriod: script.Period(),
-		Record:        true,
-	}
-	if spec.Models != nil {
-		opt.Model = spec.Models.c.Thermal
-		opt.PowerModel = spec.Models.c.Power
-	}
-	res, err := d.r.Run(opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Result{Result: res}, trace.DiffRecorders(rec.Materialize(), res.Rec.Materialize(), 0), nil
+	return res, trace.DiffRecorders(rec.Materialize(), res.Rec.Materialize(), 0), nil
 }
 
 // Benchmarks returns the Table 6.4 benchmark names.
@@ -408,11 +452,11 @@ func RunExperiment(id string, seed int64) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ctx, err := experiments.NewContext(seed)
+	ectx, err := experiments.NewContext(context.Background(), seed)
 	if err != nil {
 		return "", err
 	}
-	rep, err := e.Run(ctx)
+	rep, err := e.Run(ectx)
 	if err != nil {
 		return "", err
 	}
@@ -422,13 +466,13 @@ func RunExperiment(id string, seed int64) (string, error) {
 // RunAllExperiments regenerates every artifact, sharing one device and
 // characterization, and returns the concatenated reports in paper order.
 func RunAllExperiments(seed int64) (string, error) {
-	ctx, err := experiments.NewContext(seed)
+	ectx, err := experiments.NewContext(context.Background(), seed)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	for _, e := range experiments.All() {
-		rep, err := e.Run(ctx)
+		rep, err := e.Run(ectx)
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", e.ID, err)
 		}

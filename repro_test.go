@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -74,7 +75,8 @@ func TestRunUnknownBenchmark(t *testing.T) {
 
 func TestCompareOrder(t *testing.T) {
 	dev := NewDevice()
-	results, err := dev.Compare("sha", models(t), 1)
+	results, err := dev.Compare(context.Background(), NewSpec(
+		WithBenchmark("sha"), WithModels(models(t)), WithSeed(1)))
 	if err != nil {
 		t.Fatal(err)
 	}

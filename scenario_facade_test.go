@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -104,7 +105,7 @@ func TestScenarioCampaignFacade(t *testing.T) {
 		Scenarios: []string{"cold-start"},
 		Seeds:     []int64{1, 2},
 	}
-	rep, err := dev.RunCampaign(grid, nil, 2, 1)
+	rep, err := dev.RunCampaign(context.Background(), grid, nil, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

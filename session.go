@@ -1,0 +1,151 @@
+package repro
+
+import (
+	"context"
+	"iter"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Sample is the observable state of one control interval, delivered live
+// while a session runs. It mirrors the recorded trace series field for
+// field: a sample streamed during a recorded run is bit-identical to the
+// trace rows at the same step, because the recorder is fed from the very
+// same value.
+type Sample = sim.Sample
+
+// Session is one running simulation started with Device.Start. It streams
+// per-control-interval samples while the run progresses and ends in the
+// same Result the batch path produces:
+//
+//	session, err := dev.Start(ctx, spec)
+//	for sample := range session.Samples() {
+//	    fmt.Printf("t=%5.1fs %5.1f°C\n", sample.Time, sample.MaxTemp)
+//	}
+//	res, err := session.Result()
+//
+// The stream is lock-step: the simulation computes interval k+1 only after
+// the consumer has received sample k, so what is observed is always the
+// live state, never a lagging buffer. A session that is not streamed (the
+// batch path) runs at full speed.
+//
+// Cancelling the context passed to Start stops the run between control
+// intervals; Result then returns the partial result over the completed
+// intervals together with an error wrapping ErrCancelled. A Session is for
+// a single consumer: stream from one goroutine and call Result after the
+// stream ends.
+type Session struct {
+	ch       chan Sample
+	nostream chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	res      *Result
+	err      error
+}
+
+// Start begins executing the spec on the device and returns immediately.
+// Spec validation (unknown benchmark/scenario names, ambiguous workload
+// declarations, malformed traces) happens before the simulation goroutine
+// is spawned, so an invalid spec fails fast with a nil Session.
+//
+// The context governs the whole run: cancel it and the simulation stops
+// between control intervals. Exactly one goroutine is spawned per Start,
+// and it exits as soon as the run returns. Every started session must be
+// finished — drain Samples and/or call Result: a session that is simply
+// abandoned under a context that is never cancelled parks its run
+// goroutine at the first sample offer until the process exits.
+func (d *Device) Start(ctx context.Context, spec Spec) (*Session, error) {
+	opt, err := spec.compile(d)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{
+		ch:       make(chan Sample),
+		nostream: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	userObs := opt.Observer
+	ctxDone := ctx.Done()
+	opt.Observer = func(smp Sample) {
+		if userObs != nil {
+			userObs(smp)
+		}
+		// Deliver to the stream, unless nobody is (or will be) listening:
+		// Result detaches the stream, and cancellation must never leave
+		// the simulation goroutine blocked on an abandoned channel.
+		select {
+		case s.ch <- smp:
+		case <-s.nostream:
+		case <-ctxDone:
+			// Cancelled while offering: when a consumer is already parked
+			// at the receive, prefer delivering this last sample so the
+			// stream stays aligned with the recorder. A consumer that is
+			// busy (or absent) forfeits it — blocking here would park the
+			// run goroutine forever on an abandoned session.
+			select {
+			case s.ch <- smp:
+			default:
+			}
+		}
+	}
+	go func() {
+		res, err := d.r.Run(ctx, opt)
+		if res != nil {
+			s.res = &Result{Result: res}
+		}
+		s.err = err
+		close(s.ch)
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// Samples returns the live per-control-interval sample stream as a
+// single-use iterator:
+//
+//	for sample := range session.Samples() { ... }
+//
+// The iterator ends when the run completes (or is cancelled); call Result
+// afterwards for the final metrics. Breaking out of the loop detaches the
+// stream — the run continues to completion at full speed — it does not
+// cancel the run; cancel the Start context for that.
+//
+// On cancellation the stream is best-effort for the final interval: a
+// consumer parked at the receive gets the last sample, a consumer busy
+// processing may see the stream end one sample before the partial
+// result's trace. The WithObserver callback form sees exactly the
+// recorded intervals in every case.
+func (s *Session) Samples() iter.Seq[Sample] {
+	return func(yield func(Sample) bool) {
+		for smp := range s.ch {
+			if !yield(smp) {
+				s.detach()
+				return
+			}
+		}
+	}
+}
+
+// detach marks the stream as no longer consumed, so the simulation stops
+// offering samples to it and runs at full speed.
+func (s *Session) detach() {
+	s.stopOnce.Do(func() { close(s.nostream) })
+}
+
+// Result blocks until the run finishes and returns its outcome — the same
+// Result the batch entry points produce. After cancellation it returns the
+// partial result over the completed control intervals and an error
+// wrapping ErrCancelled (and the context's cause); the partial result is
+// never nil once the run has started.
+//
+// Calling Result without consuming Samples first is the batch mode: it
+// detaches the stream so the run proceeds at full speed.
+func (s *Session) Result() (*Result, error) {
+	s.detach()
+	<-s.done
+	return s.res, s.err
+}
