@@ -12,8 +12,10 @@ FUZZTIME ?= 10s
 # The hot-loop benchmarks whose allocs/op are engineered to be flat and
 # machine-independent; bench-json gates them against BENCH_baseline.json.
 # BenchmarkStreamingRun covers the session-API streaming path (goroutine +
-# channel handoff per interval) on top of the raw simulation cell.
-HOTBENCH = BenchmarkSimCell$$|BenchmarkSimCellDTPM$$|BenchmarkStreamingRun$$
+# channel handoff per interval) on top of the raw simulation cell;
+# BenchmarkFleetCell covers the fleet unit of work (per-device scenario run
+# folded into the online aggregators, no trace retained).
+HOTBENCH = BenchmarkSimCell$$|BenchmarkSimCellDTPM$$|BenchmarkStreamingRun$$|BenchmarkFleetCell$$
 
 all: build
 
@@ -59,6 +61,7 @@ fmt:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseTrace$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzScenarioSpec$$' -fuzztime $(FUZZTIME) ./internal/scenario
+	$(GO) test -run '^$$' -fuzz '^FuzzFleetSpec$$' -fuzztime $(FUZZTIME) ./internal/fleet
 
 # Coverage profile + total, the same numbers the CI coverage gate checks.
 cover:

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dtpm"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -151,6 +152,35 @@ func BenchmarkStreamingRun(b *testing.B) {
 		}
 		if n == 0 {
 			b.Fatal("no samples streamed")
+		}
+	}
+}
+
+// BenchmarkFleetCell times one virtual device of a fleet population — the
+// unit of work the fleet engine fans out: derive the cell's configuration,
+// compile its perturbed scenario, run it under DTPM, and fold every
+// control interval into the online aggregators (no trace retained). The
+// per-sample fold must not allocate, so allocs/op is gated like the other
+// hot loops (the count covers per-cell setup: script compilation, the two
+// fixed-bin histograms, and the simulation's preallocated buffers).
+func BenchmarkFleetCell(b *testing.B) {
+	ctx := benchContext(b)
+	eng := &fleet.Engine{Runner: ctx.Runner, Models: ctx.Char, BaseSeed: 1}
+	spec := fleet.Spec{
+		N:              1,
+		Policy:         "dtpm",
+		Scenarios:      []fleet.Weight{{Name: "cold-start", Weight: 1}},
+		AmbientJitterC: 5,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := eng.RunCell(context.Background(), spec, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Samples == 0 {
+			b.Fatal("cell folded no samples")
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/cli"
@@ -35,14 +36,16 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
-		}
+		fmt.Print(listText())
 		return
 	}
 	if !*all && *id == "" {
 		fmt.Fprintln(os.Stderr, "experiments: need -id, -all, or -list")
 		os.Exit(2)
+	}
+	todo, err := selectExperiments(*id, *all)
+	if err != nil {
+		fatal(err)
 	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -55,14 +58,8 @@ func main() {
 	}
 	ctx.SetWorkers(*workers)
 
-	total := 1
-	if *all {
-		total = len(experiments.All())
-	}
-	n := 0
-	run := func(e experiments.Experiment) {
-		n++
-		fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s: %s\n", n, total, e.ID, e.Title)
+	for n, e := range todo {
+		fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s: %s\n", n+1, len(todo), e.ID, e.Title)
 		rep, err := e.Run(ctx)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
@@ -70,18 +67,30 @@ func main() {
 		fmt.Println(rep)
 		fmt.Println()
 	}
+}
 
-	if *all {
-		for _, e := range experiments.All() {
-			run(e)
-		}
-		return
+// listText renders the -list output: one "id title" line per artifact, in
+// paper order.
+func listText() string {
+	var b strings.Builder
+	for _, e := range experiments.All() {
+		fmt.Fprintf(&b, "%-8s %s\n", e.ID, e.Title)
 	}
-	e, err := experiments.ByID(*id)
+	return b.String()
+}
+
+// selectExperiments resolves the -id/-all choice into the artifact list to
+// regenerate: every artifact in paper order for -all, the single named one
+// otherwise.
+func selectExperiments(id string, all bool) ([]experiments.Experiment, error) {
+	if all {
+		return experiments.All(), nil
+	}
+	e, err := experiments.ByID(id)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	run(e)
+	return []experiments.Experiment{e}, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestSelectExperimentsAll(t *testing.T) {
+	got, err := selectExperiments("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(experiments.All()) {
+		t.Fatalf("-all selected %d of %d artifacts", len(got), len(experiments.All()))
+	}
+	// Paper order is part of the contract (-all output is diffable).
+	for i, e := range experiments.All() {
+		if got[i].ID != e.ID {
+			t.Fatalf("artifact %d is %s, want %s", i, got[i].ID, e.ID)
+		}
+	}
+}
+
+func TestSelectExperimentsByID(t *testing.T) {
+	got, err := selectExperiments("fig6.9", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "fig6.9" {
+		t.Fatalf("selected %+v", got)
+	}
+}
+
+func TestSelectExperimentsUnknownID(t *testing.T) {
+	for _, id := range []string{"", "fig99.9", "tab0.0"} {
+		if _, err := selectExperiments(id, false); err == nil {
+			t.Errorf("id %q accepted", id)
+		}
+	}
+}
+
+func TestListTextCoversEveryArtifact(t *testing.T) {
+	text := listText()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != len(experiments.All()) {
+		t.Fatalf("list has %d lines for %d artifacts", len(lines), len(experiments.All()))
+	}
+	for _, e := range experiments.All() {
+		if !strings.Contains(text, e.ID) {
+			t.Errorf("list omits %s", e.ID)
+		}
+		if e.Title != "" && !strings.Contains(text, e.Title) {
+			t.Errorf("list omits title of %s", e.ID)
+		}
+	}
+}

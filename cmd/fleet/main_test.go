@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/scenario"
+)
+
+func TestParseMix(t *testing.T) {
+	ws, err := parseMix("exynos5410=3, fanless-phone", platform.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Name != "exynos5410" || ws[0].Weight != 3 ||
+		ws[1].Name != "fanless-phone" || ws[1].Weight != 1 {
+		t.Fatalf("parseMix: %+v", ws)
+	}
+	if ws, err := parseMix("", nil); err != nil || ws != nil {
+		t.Fatalf("empty mix: %v %v", ws, err)
+	}
+	all, err := parseMix("all", scenario.Names())
+	if err != nil || len(all) != len(scenario.Names()) {
+		t.Fatalf(`"all" mix: %v %v`, all, err)
+	}
+	if _, err := parseMix("x=heavy", nil); err == nil {
+		t.Error("non-numeric weight accepted")
+	}
+}
+
+func TestBuildSpec(t *testing.T) {
+	spec, err := buildSpec(100, "reactive", "all", "cold-start=2,gaming-session", 5, true, 58, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 100 || spec.Policy != "reactive" || spec.TMaxC != 58 ||
+		spec.ControlPeriodS != 0.5 || spec.AmbientJitterC != 5 || !spec.FreezeWorkload {
+		t.Fatalf("spec scalars: %+v", spec)
+	}
+	if len(spec.Platforms) != len(platform.Names()) || len(spec.Scenarios) != 2 {
+		t.Fatalf("spec mixes: %+v", spec)
+	}
+}
+
+func TestBuildSpecRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		n                    int
+		policy, plats, scens string
+		jitter               float64
+	}{
+		{0, "", "", "", 0},               // no population
+		{10, "warp-speed", "", "", 0},    // bad policy
+		{10, "", "no-such-soc", "", 0},   // bad platform
+		{10, "", "", "no-such", 0},       // bad scenario
+		{10, "", "", "cold-start=-1", 0}, // negative weight
+		{10, "", "", "", 9000},           // jitter out of range
+		{10, "", "", "cold-start=0", 0},  // non-normalizable
+	}
+	for _, c := range cases {
+		if _, err := buildSpec(c.n, c.policy, c.plats, c.scens, c.jitter, false, 0, 0); err == nil {
+			t.Errorf("buildSpec(%+v) accepted", c)
+		}
+	}
+}

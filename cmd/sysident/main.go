@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/cli"
 	"repro/internal/platform"
+	"repro/internal/power"
 	"repro/internal/sensor"
 	"repro/internal/sim"
 	"repro/internal/sysid"
@@ -53,14 +55,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("fitted law: I(T) = c1 T^2 exp(c2/T) + Igate\n")
-	fmt.Printf("  c1 = %.4g  c2 = %.1f  Igate = %.4g A  (Vnom %.3f V)\n", leak.C1, leak.C2, leak.IGate, leak.VNom)
-	gt := runner.GT.Res[platform.Big].Leak
-	fmt.Println("  temp(C)   fitted(W)  ground-truth(W)")
-	for _, temp := range []float64{40, 50, 60, 70, 80} {
-		v := 1.25
-		fmt.Printf("  %6.0f   %8.3f   %8.3f\n", temp, leak.Power(temp, v), gt.Power(temp, v))
-	}
+	fmt.Print(leakageReport(leak, runner.GT.Res[platform.Big].Leak))
 
 	fmt.Println("\n== Thermal system identification (per-resource PRBS) ==")
 	fmt.Fprintln(os.Stderr, "sysident: [2/2] per-resource PRBS identification...")
@@ -68,19 +63,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("identified T[k+1] = A T[k] + B P[k]   (Ts = %.1f s, ambient %.1f C)\n", model.Ts, model.Ambient)
-	fmt.Println("A =")
-	fmt.Print(model.A)
-	fmt.Println("B =")
-	fmt.Print(model.B)
-	fmt.Printf("stable: %v\n", model.Stable())
+	fmt.Print(modelReport(model))
 
 	fmt.Printf("\n== Validation at a %d-interval (%.1f s) horizon ==\n", *horizon, float64(*horizon)*0.1)
+	fmt.Print(validationReport(model, datasets, *horizon))
+}
+
+// leakageReport renders the fitted leakage law next to the ground truth it
+// was identified from — the Figure 4.3 comparison as text.
+func leakageReport(leak, gt power.LeakageParams) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fitted law: I(T) = c1 T^2 exp(c2/T) + Igate\n")
+	fmt.Fprintf(&b, "  c1 = %.4g  c2 = %.1f  Igate = %.4g A  (Vnom %.3f V)\n", leak.C1, leak.C2, leak.IGate, leak.VNom)
+	fmt.Fprintln(&b, "  temp(C)   fitted(W)  ground-truth(W)")
+	for _, temp := range []float64{40, 50, 60, 70, 80} {
+		v := 1.25
+		fmt.Fprintf(&b, "  %6.0f   %8.3f   %8.3f\n", temp, leak.Power(temp, v), gt.Power(temp, v))
+	}
+	return b.String()
+}
+
+// modelReport renders the identified state-space thermal model.
+func modelReport(model *sysid.ThermalModel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "identified T[k+1] = A T[k] + B P[k]   (Ts = %.1f s, ambient %.1f C)\n", model.Ts, model.Ambient)
+	fmt.Fprintln(&b, "A =")
+	fmt.Fprint(&b, model.A)
+	fmt.Fprintln(&b, "B =")
+	fmt.Fprint(&b, model.B)
+	fmt.Fprintf(&b, "stable: %v\n", model.Stable())
+	return b.String()
+}
+
+// validationReport renders the per-dataset prediction-error lines of the
+// §4.2.2 validation.
+func validationReport(model *sysid.ThermalModel, datasets []*sysid.Dataset, horizon int) string {
+	var b strings.Builder
 	for i, ds := range datasets {
-		meanPct, maxPct, maxAbs := sysid.ValidationError(model, ds, *horizon)
-		fmt.Printf("dataset %d (%s excitation): mean %.2f%%  max %.2f%%  maxAbs %.2f C\n",
+		meanPct, maxPct, maxAbs := sysid.ValidationError(model, ds, horizon)
+		fmt.Fprintf(&b, "dataset %d (%s excitation): mean %.2f%%  max %.2f%%  maxAbs %.2f C\n",
 			i, platform.Resource(i), meanPct, maxPct, maxAbs)
 	}
+	return b.String()
 }
 
 func fatal(err error) {

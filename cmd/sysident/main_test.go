@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/sysid"
+)
+
+// One real characterization shared by the report tests (it is the CLI's
+// actual data path, and fast enough to run in a unit test).
+var (
+	rigOnce sync.Once
+	rigLeak power.LeakageParams
+	rigMod  *sysid.ThermalModel
+	rigData []*sysid.Dataset
+	rigErr  error
+)
+
+func characterize(t *testing.T) {
+	t.Helper()
+	rigOnce.Do(func() {
+		runner := sim.NewRunner()
+		rig := &sysid.Rig{
+			Ctx:     context.Background(),
+			GT:      runner.GT,
+			Thermal: runner.Thermal,
+			Sensors: sensor.NewBank(runner.Sensors, 1),
+			Ts:      0.1,
+		}
+		rigLeak, rigErr = rig.CharacterizeLeakage()
+		if rigErr != nil {
+			return
+		}
+		rigMod, rigData, rigErr = rig.CharacterizeThermal()
+	})
+	if rigErr != nil {
+		t.Fatalf("characterization: %v", rigErr)
+	}
+}
+
+func TestLeakageReport(t *testing.T) {
+	characterize(t)
+	rep := leakageReport(rigLeak, sim.NewRunner().GT.Res[platform.Big].Leak)
+	if !strings.Contains(rep, "fitted law") || !strings.Contains(rep, "ground-truth(W)") {
+		t.Fatalf("report structure:\n%s", rep)
+	}
+	// One row per furnace setpoint of the table.
+	rows := 0
+	for _, line := range strings.Split(rep, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 3 && (f[0] == "40" || f[0] == "50" || f[0] == "60" || f[0] == "70" || f[0] == "80") {
+			rows++
+		}
+	}
+	if rows != 5 {
+		t.Errorf("leakage table has %d setpoint rows, want 5:\n%s", rows, rep)
+	}
+}
+
+func TestModelReport(t *testing.T) {
+	characterize(t)
+	rep := modelReport(rigMod)
+	for _, want := range []string{"identified T[k+1]", "A =", "B =", "stable: true"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("model report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestValidationReport(t *testing.T) {
+	characterize(t)
+	rep := validationReport(rigMod, rigData, 10)
+	lines := strings.Split(strings.TrimRight(rep, "\n"), "\n")
+	if len(lines) != len(rigData) {
+		t.Fatalf("validation report has %d lines for %d datasets:\n%s", len(lines), len(rigData), rep)
+	}
+	for i, line := range lines {
+		if !strings.Contains(line, "mean ") || !strings.Contains(line, "maxAbs ") {
+			t.Errorf("dataset %d line malformed: %q", i, line)
+		}
+		// The identified model must actually predict: a broken pipeline
+		// shows up as a wild mean error here.
+		if strings.Contains(line, "mean NaN") || strings.Contains(line, "Inf") {
+			t.Errorf("dataset %d: non-finite validation error: %q", i, line)
+		}
+	}
+}

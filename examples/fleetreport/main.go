@@ -1,0 +1,72 @@
+// Fleetreport simulates a small population of virtual devices — a
+// platform mix across three SoCs, a scenario mix of daily usage patterns,
+// and per-device ambient/workload perturbations — streams per-device
+// progress as cells complete, and prints the aggregate per-platform /
+// per-scenario report: skin-temperature percentiles, throttle time,
+// energy, and performance loss across the population. The same spec and
+// seed produce byte-identical reports at any worker count, and any single
+// device can be re-run standalone with ReplayFleetCell.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	dev := repro.NewDevice()
+	spec := repro.FleetSpec{
+		Name:           "demo-fleet",
+		N:              32,
+		Policy:         "dtpm",
+		ControlPeriodS: 0.5, // coarse ticks keep the demo quick
+		Platforms: []repro.FleetWeight{
+			{Name: "exynos5410", Weight: 2},
+			{Name: "fanless-phone", Weight: 1},
+			{Name: "tablet-8big", Weight: 1},
+		},
+		Scenarios: []repro.FleetWeight{
+			{Name: "cold-start", Weight: 3},
+			{Name: "bursty-interactive", Weight: 2},
+			{Name: "soak-then-sprint", Weight: 1},
+		},
+		AmbientJitterC: 10, // cool offices to hot cars
+	}
+
+	fmt.Fprintf(os.Stderr, "simulating %d devices (characterizes each platform once)...\n", spec.N)
+	stream, collect, err := dev.StreamFleet(context.Background(), spec, nil, 0 /* GOMAXPROCS */, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst, worstT := 0, 0.0
+	for p := range stream {
+		if p.Metrics == nil { // failed cell: collected in the report
+			fmt.Fprintf(os.Stderr, "  [%2d/%d] %s FAILED: %s\n", p.Done, p.Total, p.Cell, p.Err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  [%2d/%d] %s maxT=%.1fC energy=%.0fJ\n",
+			p.Done, p.Total, p.Cell, p.Metrics.MaxCoreC, p.Metrics.EnergyJ)
+		if p.Metrics.MaxCoreC > worstT {
+			worst, worstT = p.Cell.Index, p.Metrics.MaxCoreC
+		}
+	}
+	rep, err := collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+
+	// Every aggregate number is backed by a replayable device: re-run the
+	// hottest cell standalone with full trace recording and show it
+	// reproduces the exact run the fleet aggregated.
+	res, cfg, err := dev.ReplayFleetCell(context.Background(), spec, nil, 1, worst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhottest device replayed standalone: %s -> maxT=%.1fC over %d trace series\n",
+		cfg, res.MaxTemp, len(res.Rec.Names()))
+}

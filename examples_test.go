@@ -63,10 +63,10 @@ func TestExamplesBuildAndVet(t *testing.T) {
 }
 
 // TestExamplesRun actually executes the fastest end-to-end examples — the
-// quickstart, the campaign sweep, and the scenario record/replay session —
-// and requires a clean exit. A facade regression that compiles but fails
-// at runtime (bad benchmark name, broken models, diverging replay) fails
-// here.
+// quickstart, the campaign sweep, the scenario record/replay session, and
+// the fleet population report — and requires a clean exit. A facade
+// regression that compiles but fails at runtime (bad benchmark name,
+// broken models, diverging replay) fails here.
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping example runs in -short mode")
@@ -75,6 +75,7 @@ func TestExamplesRun(t *testing.T) {
 		"examples/quickstart",
 		"examples/campaignsweep",
 		"examples/scenariosession",
+		"examples/fleetreport",
 	} {
 		dir := dir
 		t.Run(filepath.Base(dir), func(t *testing.T) {

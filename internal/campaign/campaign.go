@@ -336,12 +336,14 @@ func runnerPlatform(r *sim.Runner) string {
 	return platform.DefaultName
 }
 
-// deviceFor resolves the runner and models for a cell's platform
-// coordinate. The empty coordinate means the engine's own device (whatever
-// platform it was built around); a named coordinate is served by the
-// engine's Runner/Models when they describe that platform and otherwise by
-// the per-campaign cache, characterized on first use.
-func (e *Engine) deviceFor(ctx context.Context, name string) (*sim.Runner, *sim.Characterization, error) {
+// DeviceFor resolves the runner and models for a platform coordinate. The
+// empty coordinate means the engine's own device (whatever platform it was
+// built around); a named coordinate is served by the engine's Runner/Models
+// when they describe that platform and otherwise by the per-campaign cache,
+// characterized on first use (at the engine's BaseSeed). The fleet engine
+// shares this cache so a platform appearing in thousands of fleet cells is
+// characterized exactly once.
+func (e *Engine) DeviceFor(ctx context.Context, name string) (*sim.Runner, *sim.Characterization, error) {
 	if name == "" || name == runnerPlatform(e.Runner) {
 		return e.Runner, e.Models, nil
 	}
@@ -517,14 +519,18 @@ func (e *Engine) RunAll(ctx context.Context, opts []sim.Options) ([]*sim.Result,
 	}
 	results := make([]*sim.Result, len(opts))
 	errs := make([]error, len(opts))
-	e.forEach(len(opts), func(i int) {
-		results[i], errs[i] = runSafely(ctx, e.Runner, opts[i])
+	e.ForEach(len(opts), func(i int) {
+		results[i], errs[i] = RunSafely(ctx, e.Runner, opts[i])
 	})
 	return results, errs
 }
 
-// forEach runs fn(0..n-1) on the worker pool and blocks until all are done.
-func (e *Engine) forEach(n int, fn func(i int)) {
+// ForEach runs fn(0..n-1) on the worker pool and blocks until all are done.
+// It is the raw pool primitive under RunAll (and the fleet engine): work is
+// handed out in index order from a shared counter, fn runs concurrently on
+// up to Workers goroutines, and fn itself owns any synchronization of
+// shared state it touches.
+func (e *Engine) ForEach(n int, fn func(i int)) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -565,7 +571,7 @@ func (e *Engine) forEach(n int, fn func(i int)) {
 // runCell executes one cell, translating every failure mode into a
 // collected CellResult.
 func (e *Engine) runCell(ctx context.Context, c Cell) CellResult {
-	runner, models, err := e.deviceFor(ctx, c.Platform)
+	runner, models, err := e.DeviceFor(ctx, c.Platform)
 	if err != nil {
 		return CellResult{Cell: c, Err: err.Error()}
 	}
@@ -609,7 +615,7 @@ func (e *Engine) runCell(ctx context.Context, c Cell) CellResult {
 		opt.Model = models.Thermal
 		opt.PowerModel = models.Power
 	}
-	res, err := runSafely(ctx, runner, opt)
+	res, err := RunSafely(ctx, runner, opt)
 	done := CellResult{Cell: c}
 	if err != nil {
 		done.Err = err.Error()
@@ -630,9 +636,10 @@ func (e *Engine) notify(r CellResult) {
 	e.OnCellDone(e.done, e.total, r)
 }
 
-// runSafely runs one simulation and converts panics into errors, so a
-// pathological cell cannot take the whole sweep down.
-func runSafely(ctx context.Context, r *sim.Runner, opt sim.Options) (res *sim.Result, err error) {
+// RunSafely runs one simulation and converts panics into errors, so a
+// pathological cell cannot take a whole sweep down. The fleet engine uses
+// it for the same containment guarantee on population cells.
+func RunSafely(ctx context.Context, r *sim.Runner, opt sim.Options) (res *sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("campaign: cell panicked: %v", p)

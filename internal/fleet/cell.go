@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// CellConfig is one virtual device of the population: every coordinate the
+// simulation of device Index depends on, fully resolved. It is a pure
+// function of (spec, base seed, index) — see DeriveCell — which is what
+// makes any device replayable in isolation.
+type CellConfig struct {
+	// Index is the device's position in the population (0-based).
+	Index int `json:"index"`
+	// Platform is the resolved platform profile name.
+	Platform string `json:"platform"`
+	// Scenario is the resolved library scenario name.
+	Scenario string `json:"scenario"`
+	// Seed is the run seed (sensor noise + background load realization).
+	Seed int64 `json:"seed"`
+	// ScenarioSeed is the workload demand-jitter stream the device runs;
+	// with Spec.FreezeWorkload set it is the scenario's own seed for every
+	// device.
+	ScenarioSeed int64 `json:"scenario_seed"`
+	// AmbientShiftC is the device's ambient perturbation in °C, applied to
+	// the scenario's whole ambient profile.
+	AmbientShiftC float64 `json:"ambient_shift_c"`
+}
+
+// String renders the device coordinates compactly for progress lines.
+func (c CellConfig) String() string {
+	return fmt.Sprintf("#%d %s/%s/seed%d/amb%+.1f", c.Index, c.Platform, c.Scenario, c.Seed, c.AmbientShiftC)
+}
+
+// splitmix is the same splitmix64 finalizer the campaign seed derivation
+// and the scenario jitter use: state advances by the golden-gamma constant
+// and each output is a full avalanche of the state, so consecutive draws
+// are decorrelated and any (base, index) pair opens an independent stream.
+type splitmix struct{ state uint64 }
+
+func newStream(base int64, index int) *splitmix {
+	// Mix the index in through one finalizer round so streams of adjacent
+	// devices share no low-bit structure.
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &splitmix{state: z ^ (z >> 31)}
+}
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit returns the next draw as a float in [0, 1).
+func (s *splitmix) unit() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+// seed returns the next draw as a non-negative int64, the convention the
+// campaign seed derivation established (stable across int64 formatting).
+func (s *splitmix) seed() int64 {
+	return int64(s.next() &^ (1 << 63))
+}
+
+// draw picks one entry of a mix axis by cumulative weight. The axis is
+// scanned in declaration order with the precomputed total, so the pick is
+// a deterministic function of (u, axis) alone.
+func draw(ws []Weight, total, u float64) string {
+	target := u * total
+	cum := 0.0
+	for _, w := range ws {
+		if w.Weight <= 0 {
+			continue
+		}
+		cum += w.Weight
+		if target < cum {
+			return w.Name
+		}
+	}
+	// Numerical tail (u ~ 1): the last positive-weight entry.
+	for i := len(ws) - 1; i >= 0; i-- {
+		if ws[i].Weight > 0 {
+			return ws[i].Name
+		}
+	}
+	return ""
+}
+
+func totalWeight(ws []Weight) float64 {
+	t := 0.0
+	for _, w := range ws {
+		if w.Weight > 0 {
+			t += w.Weight
+		}
+	}
+	return t
+}
+
+// DeriveCell resolves device `index` of the population: a fixed sequence of
+// splitmix draws (platform, scenario, ambient, workload seed, run seed)
+// from the stream opened at (base, index). The configuration depends only
+// on the spec, the base seed, and the index — never on N, worker count, or
+// execution order — so device k is identical in any population that
+// contains it and can be replayed standalone. The spec must have passed
+// Validate.
+func DeriveCell(spec Spec, base int64, index int) CellConfig {
+	spec = spec.normalized()
+	st := newStream(base, index)
+	cfg := CellConfig{
+		Index:    index,
+		Platform: draw(spec.Platforms, totalWeight(spec.Platforms), st.unit()),
+		Scenario: draw(spec.Scenarios, totalWeight(spec.Scenarios), st.unit()),
+	}
+	// Ambient draw is consumed even at zero jitter so enabling jitter
+	// never reshuffles the platform/scenario assignment of existing cells.
+	u := st.unit()
+	if spec.AmbientJitterC > 0 {
+		cfg.AmbientShiftC = (2*u - 1) * spec.AmbientJitterC
+	}
+	wseed := st.seed()
+	if spec.FreezeWorkload {
+		if sc, err := scenario.ByName(cfg.Scenario); err == nil {
+			wseed = sc.Seed
+		}
+	}
+	cfg.ScenarioSeed = wseed
+	cfg.Seed = st.seed()
+	return cfg
+}

@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Progress is one live per-device event: emitted serially (never
+// concurrently) as each cell of a running fleet finishes, in completion
+// order. Metrics is nil for a failed cell.
+type Progress struct {
+	// Done / Total count completed cells and the population size.
+	Done, Total int
+	// Cell is the device that finished.
+	Cell CellConfig
+	// Metrics is the device's fixed-size outcome (nil on failure).
+	Metrics *CellMetrics
+	// Err is the collected failure ("" on success).
+	Err string
+}
+
+// Engine runs device populations over the campaign worker pool.
+type Engine struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Runner is the anchor device (nil = sim.NewRunner()): cells whose
+	// platform matches it run on it directly, every other platform is
+	// characterized once per engine and cached.
+	Runner *sim.Runner
+	// Models is the anchor device's characterization; nil means Run
+	// characterizes it on first need (at BaseSeed).
+	Models *sim.Characterization
+	// BaseSeed anchors the whole population draw and every derived
+	// simulation seed.
+	BaseSeed int64
+	// OnCellDone, when set, receives a Progress event after each cell,
+	// serially.
+	OnCellDone func(Progress)
+
+	mu   sync.Mutex // guards pool construction
+	pool *campaign.Engine
+}
+
+// cellOutcome is what one cell leaves behind for assembly.
+type cellOutcome struct {
+	cfg     CellConfig
+	agg     *cellAgg
+	metrics *CellMetrics
+	err     string
+}
+
+// runnerPlatform names the platform a runner simulates.
+func runnerPlatform(r *sim.Runner) string {
+	if r != nil && r.Desc != nil {
+		return r.Desc.Name
+	}
+	return platform.DefaultName
+}
+
+// init prepares the shared pool and, when the population includes the
+// anchor device's own platform, its characterization — once per engine, so
+// repeated Run calls (and RunCell probes) reuse both. A failed init (e.g.
+// a cancelled characterization) caches nothing, so a later call with a
+// live context retries instead of inheriting the failure.
+func (e *Engine) init(ctx context.Context, spec Spec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.Runner == nil {
+		e.Runner = sim.NewRunner()
+	}
+	own := runnerPlatform(e.Runner)
+	needOwn := false
+	for _, w := range spec.Platforms {
+		if w.Weight > 0 && w.Name == own {
+			needOwn = true
+		}
+	}
+	if needOwn && e.Models == nil {
+		models, err := e.Runner.Characterize(ctx, e.BaseSeed)
+		if err != nil {
+			return err
+		}
+		e.Models = models
+	}
+	if e.pool == nil {
+		e.pool = &campaign.Engine{
+			Workers:  e.Workers,
+			Runner:   e.Runner,
+			BaseSeed: e.BaseSeed,
+		}
+	}
+	// A later spec may be the first to need the anchor platform's models.
+	e.pool.Models = e.Models
+	return nil
+}
+
+// Run simulates the whole population and returns the aggregate report.
+// Individual cell failures are collected in the report, never aborting the
+// fleet. On cancellation the partial report — aggregated over the cells
+// that completed, the rest collected as cancelled — comes back with an
+// error wrapping sim.ErrCancelled.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.normalized()
+	if err := e.init(ctx, spec); err != nil {
+		return nil, err
+	}
+	pol, err := sim.ParsePolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	coll := newCollector(spec.N)
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	e.pool.ForEach(spec.N, func(i int) {
+		out := e.runCell(ctx, spec, pol, i, false)
+		coll.add(i, out)
+		if e.OnCellDone != nil {
+			mu.Lock()
+			done++
+			e.OnCellDone(Progress{Done: done, Total: spec.N, Cell: out.cfg, Metrics: out.metrics, Err: out.err})
+			mu.Unlock()
+		}
+	})
+	rep := coll.report(spec, e.BaseSeed)
+	if cause := context.Cause(ctx); cause != nil {
+		return rep, fmt.Errorf("fleet: %w (%w)", sim.ErrCancelled, cause)
+	}
+	return rep, nil
+}
+
+// runCell executes one device cell; every failure mode becomes a collected
+// outcome. With record set the full trace is retained (the replay path);
+// the fleet path keeps only the aggregate.
+func (e *Engine) runCell(ctx context.Context, spec Spec, pol sim.Policy, index int, record bool) cellOutcome {
+	cfg := DeriveCell(spec, e.BaseSeed, index)
+	out := cellOutcome{cfg: cfg}
+	if ctx.Err() != nil {
+		out.err = "fleet: cancelled before start"
+		return out
+	}
+	runner, models, err := e.pool.DeviceFor(ctx, cfg.Platform)
+	if err != nil {
+		out.err = err.Error()
+		return out
+	}
+	opt, agg, err := cellOptions(spec, pol, cfg, runner, models, record)
+	if err != nil {
+		out.err = err.Error()
+		return out
+	}
+	res, err := campaign.RunSafely(ctx, runner, opt)
+	if err != nil {
+		out.err = err.Error()
+		return out
+	}
+	agg.finish(res)
+	out.agg = agg
+	out.metrics = agg.metrics()
+	return out
+}
+
+// cellOptions compiles one device cell into executable run options plus its
+// fresh aggregator: the cell's scenario perturbed onto its seeds and
+// ambient shift, under the fleet's policy/constraint/period, observed by
+// the per-sample fold.
+func cellOptions(spec Spec, pol sim.Policy, cfg CellConfig, runner *sim.Runner, models *sim.Characterization, record bool) (sim.Options, *cellAgg, error) {
+	desc := runner.Desc
+	if desc == nil {
+		desc = platform.Default()
+	}
+	sc, err := scenario.ByName(cfg.Scenario)
+	if err != nil {
+		return sim.Options{}, nil, err
+	}
+	script, err := scenario.Compile(sc.Perturbed(cfg.ScenarioSeed, cfg.AmbientShiftC, desc.Thermal.Ambient))
+	if err != nil {
+		return sim.Options{}, nil, err
+	}
+	opt := sim.Options{
+		Policy:        pol,
+		Script:        script,
+		Seed:          cfg.Seed,
+		TMax:          spec.TMaxC,
+		ControlPeriod: spec.ControlPeriodS,
+		Record:        record,
+	}
+	if models != nil {
+		opt.Model = models.Thermal
+		opt.PowerModel = models.Power
+	}
+	agg := newCellAgg(desc, spec.TMaxC)
+	opt.Observer = agg.observe
+	return opt, agg, nil
+}
+
+// RunCell simulates exactly one device of the population standalone — the
+// cheap spot-check — and returns its fixed-size metrics. The cell runs the
+// very configuration (and RNG streams) it would run inside the full fleet,
+// so its metrics match the fleet's sample for sample.
+func (e *Engine) RunCell(ctx context.Context, spec Spec, index int) (*CellMetrics, CellConfig, error) {
+	out, err := e.cell(ctx, spec, index, false)
+	if err != nil {
+		return nil, out.cfg, err
+	}
+	return out.metrics, out.cfg, nil
+}
+
+// ReplayCell re-runs device `index` standalone with full trace recording:
+// the returned result's recorder holds the complete per-interval series of
+// the device, bit-identical to what the fleet's aggregator observed (both
+// are fed from the same Sample values).
+func (e *Engine) ReplayCell(ctx context.Context, spec Spec, index int) (*sim.Result, CellConfig, error) {
+	out, err := e.cell(ctx, spec, index, true)
+	if err != nil {
+		return nil, out.cfg, err
+	}
+	return out.agg.res, out.cfg, nil
+}
+
+// cell is the shared single-cell path under RunCell and ReplayCell.
+func (e *Engine) cell(ctx context.Context, spec Spec, index int, record bool) (cellOutcome, error) {
+	if err := spec.Validate(); err != nil {
+		return cellOutcome{}, err
+	}
+	spec = spec.normalized()
+	if index < 0 || index >= spec.N {
+		return cellOutcome{}, fmt.Errorf("fleet: cell index %d out of range [0, %d)", index, spec.N)
+	}
+	if err := e.init(ctx, spec); err != nil {
+		return cellOutcome{}, err
+	}
+	pol, err := sim.ParsePolicy(spec.Policy)
+	if err != nil {
+		return cellOutcome{}, err
+	}
+	out := e.runCell(ctx, spec, pol, index, record)
+	if out.err != "" {
+		return out, fmt.Errorf("fleet: cell %d: %s", index, out.err)
+	}
+	return out, nil
+}
+
+// collector assembles the aggregate report incrementally while cells are
+// still running. Completed outcomes are recorded under a lock and merged
+// the moment every lower-indexed cell has been merged too — so the merge
+// happens strictly in cell-index order (the byte-determinism contract)
+// while each cell's aggregator (its histogram backing) is released as
+// soon as it is folded in: the live aggregator count is bounded by the
+// pool's out-of-order window (~worker count), not by the population size,
+// which is what lets a 100 000-cell fleet run in bounded memory.
+type collector struct {
+	mu      sync.Mutex
+	outs    []cellOutcome // agg freed once merged; cfg/metrics/err retained
+	ready   []bool
+	next    int // first index not yet merged
+	overall *groupAgg
+	groups  map[[2]string]*groupAgg
+	keys    [][2]string
+}
+
+func newCollector(n int) *collector {
+	return &collector{
+		outs:    make([]cellOutcome, n),
+		ready:   make([]bool, n),
+		overall: newGroupAgg("all", "all"),
+		groups:  map[[2]string]*groupAgg{},
+	}
+}
+
+// add records cell i's outcome and advances the in-order merge frontier.
+func (c *collector) add(i int, out cellOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.outs[i] = out
+	c.ready[i] = true
+	for c.next < len(c.outs) && c.ready[c.next] {
+		o := &c.outs[c.next]
+		if o.err == "" {
+			key := [2]string{o.cfg.Platform, o.cfg.Scenario}
+			g, ok := c.groups[key]
+			if !ok {
+				g = newGroupAgg(key[0], key[1])
+				c.groups[key] = g
+				c.keys = append(c.keys, key)
+			}
+			g.merge(o.agg, o.metrics)
+			c.overall.merge(o.agg, o.metrics)
+		}
+		o.agg = nil // release the histogram backing
+		c.next++
+	}
+}
+
+// report finalizes the deterministic aggregate report. Every cell has been
+// added by the time the pool drains, so the merge frontier has passed the
+// whole population.
+func (c *collector) report(spec Spec, baseSeed int64) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := &Report{
+		Name:     spec.Name,
+		BaseSeed: baseSeed,
+		Policy:   spec.Policy,
+		TMaxC:    spec.TMaxC,
+		Cells:    len(c.outs),
+	}
+	for _, out := range c.outs {
+		if out.err != "" {
+			rep.Failures = append(rep.Failures, CellFailure{Cell: out.cfg, Err: out.err})
+			continue
+		}
+		rep.Completed++
+	}
+	sort.Slice(c.keys, func(i, j int) bool {
+		if c.keys[i][0] != c.keys[j][0] {
+			return c.keys[i][0] < c.keys[j][0]
+		}
+		return c.keys[i][1] < c.keys[j][1]
+	})
+	for _, k := range c.keys {
+		rep.Groups = append(rep.Groups, c.groups[k].report())
+	}
+	rep.Overall = c.overall.report()
+	return rep
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// update regenerates the golden fleet reports instead of comparing:
+//
+//	go test ./internal/fleet -run TestGoldenFleetReport -update
+//
+// Regenerate ONLY when a behaviour change is intentional, and say so in
+// the commit: these files pin the population draw, every simulation
+// stream, and the whole aggregation pipeline in one artifact.
+var update = flag.Bool("update", false, "regenerate golden fleet report files")
+
+// goldenSpec pins a population that exercises every aggregation path in a
+// few seconds: all three platforms, three disjoint scenarios (GPU gameplay
+// ramp, idle/burst cycling, hot-ambient soak), ambient jitter wide enough
+// to spread the groups, under the full DTPM controller.
+func goldenSpec() Spec {
+	return Spec{
+		Name:           "golden-fleet",
+		N:              24,
+		Policy:         "dtpm",
+		ControlPeriodS: 0.5,
+		Platforms: []Weight{
+			{Name: platform.DefaultName, Weight: 2},
+			{Name: "fanless-phone", Weight: 1},
+			{Name: "tablet-8big", Weight: 1},
+		},
+		Scenarios: []Weight{
+			{Name: "cold-start", Weight: 3},
+			{Name: "bursty-interactive", Weight: 2},
+			{Name: "soak-then-sprint", Weight: 1},
+		},
+		AmbientJitterC: 10,
+	}
+}
+
+// TestGoldenFleetReport is the fleet regression harness: the golden
+// population must produce byte-identical JSON and CSV aggregate reports to
+// the committed files at 1, 4, and 8 workers. Any numerical drift anywhere
+// in the population draw, the sim/thermal/dtpm stack, the per-sample fold,
+// or the report assembly fails here first.
+func TestGoldenFleetReport(t *testing.T) {
+	spec := goldenSpec()
+	jsonFile := filepath.Join("testdata", "golden-fleet.json")
+	csvFile := filepath.Join("testdata", "golden-fleet.csv")
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fleetWorkersName(workers), func(t *testing.T) {
+			eng := &Engine{Workers: workers, BaseSeed: 7}
+			rep, err := eng.Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Failures) > 0 {
+				t.Fatalf("golden fleet cells failed: %+v", rep.Failures)
+			}
+			var j, c bytes.Buffer
+			if err := rep.WriteJSON(&j); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.WriteCSV(&c); err != nil {
+				t.Fatal(err)
+			}
+			if *update && workers == 1 {
+				for _, f := range []struct {
+					path string
+					data []byte
+				}{{jsonFile, j.Bytes()}, {csvFile, c.Bytes()}} {
+					if err := os.WriteFile(f.path, f.data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("regenerated %s (%d bytes)", f.path, len(f.data))
+				}
+			}
+			wantJSON, err := os.ReadFile(jsonFile)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			wantCSV, err := os.ReadFile(csvFile)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if !bytes.Equal(j.Bytes(), wantJSON) {
+				t.Errorf("JSON report diverged from %s:\ngot:\n%s\nwant:\n%s", jsonFile, j.Bytes(), wantJSON)
+			}
+			if !bytes.Equal(c.Bytes(), wantCSV) {
+				t.Errorf("CSV report diverged from %s:\ngot:\n%s\nwant:\n%s", csvFile, c.Bytes(), wantCSV)
+			}
+		})
+	}
+}
+
+func fleetWorkersName(w int) string {
+	return "workers=" + string(rune('0'+w))
+}
+
+// TestGoldenReportRoundTrips: the committed golden JSON re-renders through
+// ReadReportJSON (the `fleet report` path) to the same summary the run
+// produced.
+func TestGoldenReportRoundTrips(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden-fleet.json"))
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	defer f.Close()
+	rep, err := ReadReportJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 24 || rep.Completed != 24 || len(rep.Groups) == 0 {
+		t.Fatalf("round-tripped report: %d cells, %d completed, %d groups", rep.Cells, rep.Completed, len(rep.Groups))
+	}
+	if rep.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+	// Concatenated/garbage-suffixed files must fail loudly, not render the
+	// first value as a complete fleet.
+	data, err := os.ReadFile(filepath.Join("testdata", "golden-fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReportJSON(bytes.NewReader(append(data, data...))); err == nil {
+		t.Error("concatenated reports accepted")
+	}
+	if _, err := ReadReportJSON(bytes.NewReader([]byte(`{"bogus": 1}`))); err == nil {
+		t.Error("non-report JSON accepted")
+	}
+}

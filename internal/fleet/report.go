@@ -1,0 +1,164 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Group is the aggregate over one (platform, scenario) population segment
+// (the Overall row uses "all"/"all"). Skin-temperature percentiles are
+// reconstructed from the merged fixed-bin histogram (0.25 °C resolution);
+// energy / performance-loss / throttle percentiles are exact over the
+// per-cell values.
+type Group struct {
+	Platform string `json:"platform"`
+	Scenario string `json:"scenario"`
+	// Cells is the number of completed devices in the segment; Samples the
+	// total control intervals they contributed.
+	Cells   int    `json:"cells"`
+	Samples uint64 `json:"samples"`
+	// Skin-temperature distribution across every control interval of every
+	// device of the segment (°C).
+	SkinP50C  float64 `json:"skin_p50_c"`
+	SkinP95C  float64 `json:"skin_p95_c"`
+	SkinP99C  float64 `json:"skin_p99_c"`
+	SkinMeanC float64 `json:"skin_mean_c"`
+	SkinMaxC  float64 `json:"skin_max_c"`
+	// CoreMaxC is the hottest core temperature any device of the segment
+	// ever reached (°C).
+	CoreMaxC float64 `json:"core_max_c"`
+	// ThrottleFrac is the segment's fraction of control intervals spent
+	// above the constraint; ThrottleP95 the 95th percentile of the
+	// per-device fraction.
+	ThrottleFrac float64 `json:"throttle_frac"`
+	ThrottleP95  float64 `json:"throttle_p95"`
+	// Per-device energy distribution (J).
+	EnergyMeanJ float64 `json:"energy_mean_j"`
+	EnergyP50J  float64 `json:"energy_p50_j"`
+	EnergyP95J  float64 `json:"energy_p95_j"`
+	EnergyP99J  float64 `json:"energy_p99_j"`
+	// Performance loss: mean shortfall of delivered CPU frequency against
+	// the platform's top OPP, segment-wide and per-device p95.
+	PerfLossMean float64 `json:"perf_loss_mean"`
+	PerfLossP95  float64 `json:"perf_loss_p95"`
+}
+
+// CellFailure is one collected device failure.
+type CellFailure struct {
+	Cell CellConfig `json:"cell"`
+	Err  string     `json:"error"`
+}
+
+// Report is a completed fleet in deterministic order: groups sorted by
+// (platform, scenario), failures in cell-index order. It contains only
+// cell-determined data — no wall-clock times, no worker counts — so two
+// runs of the same spec and base seed export byte-identical files at any
+// parallelism level.
+type Report struct {
+	Name      string        `json:"name,omitempty"`
+	BaseSeed  int64         `json:"base_seed"`
+	Policy    string        `json:"policy"`
+	TMaxC     float64       `json:"tmax_c"`
+	Cells     int           `json:"cells"`
+	Completed int           `json:"completed"`
+	Overall   Group         `json:"overall"`
+	Groups    []Group       `json:"groups"`
+	Failures  []CellFailure `json:"failures,omitempty"`
+}
+
+// WriteJSON exports the report as indented JSON (byte-identical for the
+// same spec and base seed at any worker count).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReportJSON parses a report WriteJSON produced — the `fleet report`
+// re-rendering path. Unknown fields are errors, so a file that is not a
+// fleet report fails loudly instead of rendering as an empty fleet.
+func ReadReportJSON(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("fleet: reading report: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("fleet: trailing data after report")
+	}
+	return &rep, nil
+}
+
+// csvHeader is the column order of WriteCSV.
+var csvHeader = []string{
+	"platform", "scenario", "cells", "samples",
+	"skin_p50_c", "skin_p95_c", "skin_p99_c", "skin_mean_c", "skin_max_c",
+	"core_max_c", "throttle_frac", "throttle_p95",
+	"energy_mean_j", "energy_p50_j", "energy_p95_j", "energy_p99_j",
+	"perf_loss_mean", "perf_loss_p95",
+}
+
+// WriteCSV exports one row per group plus the overall row. Floats use the
+// shortest exact representation ('g', -1), so the file round-trips
+// losslessly and is byte-comparable across runs.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	row := func(grp Group) []string {
+		return []string{
+			grp.Platform, grp.Scenario,
+			strconv.Itoa(grp.Cells), strconv.FormatUint(grp.Samples, 10),
+			g(grp.SkinP50C), g(grp.SkinP95C), g(grp.SkinP99C), g(grp.SkinMeanC), g(grp.SkinMaxC),
+			g(grp.CoreMaxC), g(grp.ThrottleFrac), g(grp.ThrottleP95),
+			g(grp.EnergyMeanJ), g(grp.EnergyP50J), g(grp.EnergyP95J), g(grp.EnergyP99J),
+			g(grp.PerfLossMean), g(grp.PerfLossP95),
+		}
+	}
+	for _, grp := range r.Groups {
+		if err := cw.Write(row(grp)); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(row(r.Overall)); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary renders a compact per-group table for terminal output.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet %s: %d devices (%d completed), policy %s, tmax %g C\n",
+		nameOr(r.Name, "population"), r.Cells, r.Completed, r.Policy, r.TMaxC)
+	fmt.Fprintf(&b, "%-14s %-20s %5s  %7s %7s %7s  %8s  %9s  %8s\n",
+		"platform", "scenario", "cells", "skin50", "skin95", "skin99",
+		"throttle", "energy_j", "perfloss")
+	rows := append(append([]Group{}, r.Groups...), r.Overall)
+	for _, grp := range rows {
+		fmt.Fprintf(&b, "%-14s %-20s %5d  %7.1f %7.1f %7.1f  %7.1f%%  %9.0f  %7.1f%%\n",
+			grp.Platform, grp.Scenario, grp.Cells,
+			grp.SkinP50C, grp.SkinP95C, grp.SkinP99C,
+			100*grp.ThrottleFrac, grp.EnergyMeanJ, 100*grp.PerfLossMean)
+	}
+	if n := len(r.Failures); n > 0 {
+		fmt.Fprintf(&b, "%d/%d cells failed (first: #%d %s)\n",
+			n, r.Cells, r.Failures[0].Cell.Index, r.Failures[0].Err)
+	}
+	return b.String()
+}
+
+func nameOr(name, fallback string) string {
+	if name != "" {
+		return name
+	}
+	return fallback
+}

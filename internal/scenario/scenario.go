@@ -142,6 +142,46 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// Perturbed returns a copy of the spec with its workload-jitter seed
+// replaced and its entire ambient profile shifted by shiftC °C — the base
+// ambient and every per-phase override move together, so a hot room stays
+// hot through the whole scenario. A spec whose base ambient is 0 (device
+// default) anchors the shift at defaultC, the platform's nominal ambient.
+// It is the fleet engine's per-cell perturbation hook: phases, repeats,
+// and soak are otherwise unchanged, so two perturbed copies of one
+// scenario differ only in the demand-jitter stream and the thermal
+// environment — exactly the axes a device population varies on.
+func (s Spec) Perturbed(seed int64, shiftC, defaultC float64) Spec {
+	s.Seed = seed
+	if shiftC == 0 {
+		return s
+	}
+	// An ambient field of exactly 0 means "device default" / "keep", so a
+	// shift that lands precisely on 0 °C would silently change semantics;
+	// nudge it by a sub-sensor-resolution epsilon instead.
+	shifted := func(v float64) float64 {
+		v += shiftC
+		if v == 0 {
+			v = 1e-9
+		}
+		return v
+	}
+	base := s.AmbientC
+	if base == 0 {
+		base = defaultC
+	}
+	s.AmbientC = shifted(base)
+	phases := make([]Phase, len(s.Phases))
+	copy(phases, s.Phases)
+	for i := range phases {
+		if phases[i].AmbientC != 0 {
+			phases[i].AmbientC = shifted(phases[i].AmbientC)
+		}
+	}
+	s.Phases = phases
+	return s
+}
+
 // ValidateFor checks the spec against one platform profile on top of the
 // platform-independent Validate: every phase's workload must be
 // schedulable on the platform without permanent oversubscription (thread

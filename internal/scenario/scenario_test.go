@@ -344,3 +344,59 @@ func TestFromTraceRejectsOutputOnlyTrace(t *testing.T) {
 		t.Errorf("unhelpful error: %v", err)
 	}
 }
+
+func TestPerturbed(t *testing.T) {
+	spec, err := ByName("mixed-cpu-gpu") // phase 2 carries an explicit 36 C override
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Perturbed(999, 5, 25)
+	if p.Seed != 999 {
+		t.Errorf("seed %d", p.Seed)
+	}
+	// Base ambient was 0 (device default): the shift anchors at defaultC.
+	if p.AmbientC != 30 {
+		t.Errorf("base ambient %g, want 30 (25 default + 5 shift)", p.AmbientC)
+	}
+	// The whole ambient profile moves together; "keep" phases stay 0.
+	for i, ph := range p.Phases {
+		want := 0.0
+		if spec.Phases[i].AmbientC != 0 {
+			want = spec.Phases[i].AmbientC + 5
+		}
+		if ph.AmbientC != want {
+			t.Errorf("phase %d ambient %g, want %g", i, ph.AmbientC, want)
+		}
+	}
+	// The original spec is untouched (phases are copied before shifting).
+	orig, _ := ByName("mixed-cpu-gpu")
+	for i := range spec.Phases {
+		if spec.Phases[i] != orig.Phases[i] {
+			t.Fatalf("Perturbed mutated the source spec phase %d", i)
+		}
+	}
+	// An explicit base ambient anchors the shift at itself, not defaultC.
+	soak, err := ByName("soak-then-sprint") // base 45 C
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := soak.Perturbed(1, -5, 25).AmbientC; got != 40 {
+		t.Errorf("shifted soak ambient %g, want 40", got)
+	}
+	// Zero shift only swaps the jitter seed.
+	same := spec.Perturbed(7, 0, 25)
+	if same.AmbientC != spec.AmbientC || same.Seed != 7 {
+		t.Errorf("zero shift changed ambient: %+v", same)
+	}
+	// A shift landing exactly on 0 °C must not collide with the
+	// 0-means-default sentinel: the requested freezing ambient survives
+	// as a sub-resolution epsilon, not as "device default".
+	frozen := soak.Perturbed(1, -45, 25)
+	if frozen.AmbientC == 0 || frozen.AmbientC > 1e-6 {
+		t.Errorf("shift to 0 C became %g (0 would mean device default)", frozen.AmbientC)
+	}
+	// Perturbed specs still validate and compile.
+	if _, err := Compile(p); err != nil {
+		t.Errorf("perturbed spec does not compile: %v", err)
+	}
+}

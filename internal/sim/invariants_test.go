@@ -1,0 +1,275 @@
+// Physics-invariant property suite: every registered platform × every
+// library scenario × every policy must respect the invariants no correct
+// simulation can violate — bounded temperatures, non-negative finite
+// powers, a strictly monotone control-period clock, and frequencies that
+// never leave the platform's OPP ladders. The suite runs the observer hook
+// on every control interval, so a violation names the exact step it first
+// appeared at. It lives in package sim_test because it drives the scenario
+// compiler (which itself imports sim).
+package sim_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// invariantMargin returns the allowed overshoot above TMax: managed
+// policies (fan, reactive, dtpm) regulate within ~10 °C of the constraint
+// on every platform (empirically ≤ 9.8 °C, reactive on the sustained
+// stress scenario); the uncontrolled without-fan configuration is bounded
+// only by silicon physics (empirically ≤ 30 °C over). The margins pin
+// physical plausibility — no thermal runaway — not control quality.
+func invariantMargin(pol sim.Policy) float64 {
+	if pol == sim.PolicyNoFan {
+		return 35
+	}
+	return 15
+}
+
+// minAmbientC returns the lowest ambient temperature a scenario can expose
+// the platform to: the platform's nominal ambient and every explicit
+// ambient override in the spec.
+func minAmbientC(spec scenario.Spec, desc *platform.Descriptor) float64 {
+	min := desc.Thermal.Ambient
+	if spec.AmbientC != 0 && spec.AmbientC < min {
+		min = spec.AmbientC
+	}
+	for _, p := range spec.Phases {
+		if p.AmbientC != 0 && p.AmbientC < min {
+			min = p.AmbientC
+		}
+	}
+	return min
+}
+
+// ladderGHz collects a domain's OPP frequencies in the units Sample
+// reports, for exact membership checks (both sides come from KHz.GHz()).
+func ladderGHz(d *platform.Domain) map[float64]bool {
+	out := make(map[float64]bool, len(d.OPPs))
+	for _, opp := range d.OPPs {
+		out[opp.Freq.GHz()] = true
+	}
+	return out
+}
+
+func ladderMHz(d *platform.Domain) map[float64]bool {
+	out := make(map[float64]bool, len(d.OPPs))
+	for _, opp := range d.OPPs {
+		out[opp.Freq.MHz()] = true
+	}
+	return out
+}
+
+// invariantChecker asserts the per-interval invariants from the observer
+// hook.
+type invariantChecker struct {
+	t       *testing.T
+	desc    *platform.Descriptor
+	pol     sim.Policy
+	dt      float64
+	tMax    float64
+	minAmb  float64
+	bigGHz  map[float64]bool
+	litGHz  map[float64]bool
+	gpuMHz  map[float64]bool
+	hasFan  bool
+	step    int
+	samples int
+}
+
+func (c *invariantChecker) observe(s sim.Sample) {
+	t := c.t
+	// One failure is enough; later samples of a broken run add noise.
+	if t.Failed() {
+		return
+	}
+	if s.Step != c.step {
+		t.Errorf("step %d: observer saw step %d (skipped or repeated interval)", c.step, s.Step)
+	}
+	// The clock advances by exactly one control period per interval.
+	if want := float64(c.step) * c.dt; math.Abs(s.Time-want) > 1e-9 {
+		t.Errorf("step %d: time %.9f, want %.9f (strict %g s grid)", s.Step, s.Time, want, c.dt)
+	}
+	for name, v := range map[string]float64{
+		"maxtemp": s.MaxTemp, "board": s.BoardTemp, "power": s.Power,
+		"bigpower": s.BigPower, "freq": s.FreqGHz, "gpu": s.GPUMHz,
+		"fan": s.FanSpeed, "cores": s.Cores, "cluster": s.Cluster,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("step %d: %s = %g not finite", s.Step, name, v)
+		}
+	}
+	// Temperatures: bounded below by the coldest ambient the scenario can
+	// impose (minus sensor-resolution slack) and above by the constraint
+	// plus the policy's physical margin.
+	lo, hi := c.minAmb-1, c.tMax+invariantMargin(c.pol)
+	if s.MaxTemp < lo || s.MaxTemp > hi {
+		t.Errorf("step %d: core temp %.2f C outside [%.1f, %.1f]", s.Step, s.MaxTemp, lo, hi)
+	}
+	if s.BoardTemp < lo || s.BoardTemp > hi {
+		t.Errorf("step %d: board temp %.2f C outside [%.1f, %.1f]", s.Step, s.BoardTemp, lo, hi)
+	}
+	// Powers: non-negative, and the platform total covers the big domain.
+	if s.Power < 0 || s.BigPower < 0 {
+		t.Errorf("step %d: negative power (platform %.3f W, big %.3f W)", s.Step, s.Power, s.BigPower)
+	}
+	if s.Power < s.BigPower-1e-9 {
+		t.Errorf("step %d: platform power %.3f W below big-domain power %.3f W", s.Step, s.Power, s.BigPower)
+	}
+	// Frequencies never leave the OPP ladders — in particular the DTPM
+	// controller can never have selected an OPP above them.
+	switch platform.ClusterKind(int(s.Cluster)) {
+	case platform.BigCluster:
+		if !c.bigGHz[s.FreqGHz] {
+			t.Errorf("step %d: big-cluster frequency %.6f GHz not on the ladder", s.Step, s.FreqGHz)
+		}
+		if n := c.desc.Big.Cores; s.Cores < 1 || s.Cores > float64(n) || s.Cores != math.Trunc(s.Cores) {
+			t.Errorf("step %d: %g online big cores (cluster has %d)", s.Step, s.Cores, n)
+		}
+	case platform.LittleCluster:
+		if c.desc.Little == nil {
+			t.Errorf("step %d: little cluster active on single-cluster platform", s.Step)
+		} else {
+			if !c.litGHz[s.FreqGHz] {
+				t.Errorf("step %d: little-cluster frequency %.6f GHz not on the ladder", s.Step, s.FreqGHz)
+			}
+			if n := c.desc.Little.Cores; s.Cores < 1 || s.Cores > float64(n) || s.Cores != math.Trunc(s.Cores) {
+				t.Errorf("step %d: %g online little cores (cluster has %d)", s.Step, s.Cores, n)
+			}
+		}
+	default:
+		t.Errorf("step %d: unknown active cluster %g", s.Step, s.Cluster)
+	}
+	if !c.gpuMHz[s.GPUMHz] {
+		t.Errorf("step %d: GPU frequency %.3f MHz not on the ladder", s.Step, s.GPUMHz)
+	}
+	// Fan: normalized, and spinning only when the platform has one and the
+	// policy drives it.
+	if s.FanSpeed < 0 || s.FanSpeed > 1 {
+		t.Errorf("step %d: fan speed %g outside [0, 1]", s.Step, s.FanSpeed)
+	}
+	if (!c.hasFan || c.pol != sim.PolicyFan) && s.FanSpeed != 0 {
+		t.Errorf("step %d: fan speed %g on a run that cannot drive the fan", s.Step, s.FanSpeed)
+	}
+	c.step++
+	c.samples++
+}
+
+// characterizations are shared across the suite: one per platform, built
+// lazily under a lock (the parallel subtests otherwise repeat the most
+// expensive step 30+ times).
+var (
+	charMu    sync.Mutex
+	charCache = map[string]*sim.Characterization{}
+)
+
+func modelsFor(t *testing.T, desc *platform.Descriptor) *sim.Characterization {
+	t.Helper()
+	charMu.Lock()
+	defer charMu.Unlock()
+	if ch, ok := charCache[desc.Name]; ok {
+		return ch
+	}
+	ch, err := sim.NewRunnerFor(desc).Characterize(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("characterize %s: %v", desc.Name, err)
+	}
+	charCache[desc.Name] = ch
+	return ch
+}
+
+// TestPhysicsInvariants sweeps every platform × library scenario × policy.
+// The 0.5 s control period keeps the full sweep (~90 runs) cheap while
+// exercising every per-step code path; the subtests run in parallel, so
+// under -race this doubles as a concurrency shakedown of the runner.
+func TestPhysicsInvariants(t *testing.T) {
+	const dt = 0.5
+	for _, pname := range platform.Names() {
+		desc, err := platform.ByName(pname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sname := range scenario.Names() {
+			spec, err := scenario.ByName(sname)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := scenario.ValidateFor(spec, desc); err != nil {
+				// The only legitimate reason to skip a combination is a
+				// workload the platform cannot schedule.
+				t.Logf("skip %s/%s: %v", pname, sname, err)
+				continue
+			}
+			for _, pol := range sim.Policies() {
+				desc, spec, pol := desc, spec, pol
+				t.Run(fmt.Sprintf("%s/%s/%s", pname, sname, pol), func(t *testing.T) {
+					t.Parallel()
+					script, err := scenario.Compile(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checker := &invariantChecker{
+						t:      t,
+						desc:   desc,
+						pol:    pol,
+						dt:     dt,
+						tMax:   63,
+						minAmb: minAmbientC(spec, desc),
+						bigGHz: ladderGHz(&desc.Big.Domain),
+						gpuMHz: ladderMHz(&desc.GPU),
+						hasFan: desc.Fan != nil,
+					}
+					if desc.Little != nil {
+						checker.litGHz = ladderGHz(&desc.Little.Domain)
+					}
+					opt := sim.Options{
+						Policy:        pol,
+						Script:        script,
+						Seed:          1,
+						ControlPeriod: dt,
+						Observer:      checker.observe,
+					}
+					if pol == sim.PolicyDTPM {
+						ch := modelsFor(t, desc)
+						opt.Model = ch.Thermal
+						opt.PowerModel = ch.Power
+					}
+					runner := sim.NewRunnerFor(desc)
+					res, err := runner.Run(context.Background(), opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Completed {
+						t.Error("scenario run did not complete")
+					}
+					if checker.samples == 0 {
+						t.Fatal("observer saw no samples")
+					}
+					// The scalar outcome must be finite and consistent with
+					// the observed stream.
+					for name, v := range map[string]float64{
+						"exec": res.ExecTime, "power": res.AvgPower, "energy": res.Energy,
+						"maxT": res.MaxTemp, "avgT": res.AvgTemp, "spread": res.Spread,
+					} {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Errorf("result %s = %g not finite", name, v)
+						}
+					}
+					if res.Energy < 0 || res.AvgPower < 0 || res.ExecTime <= 0 {
+						t.Errorf("result not physical: exec=%g power=%g energy=%g", res.ExecTime, res.AvgPower, res.Energy)
+					}
+					if res.OverTMax < 0 || res.OverTMax > res.ExecTime+dt {
+						t.Errorf("over-TMax time %g outside [0, %g]", res.OverTMax, res.ExecTime+dt)
+					}
+				})
+			}
+		}
+	}
+}
