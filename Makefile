@@ -7,15 +7,24 @@ GO ?= go
 # real hunt, e.g. `make fuzz FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json bench-baseline lint fmt fuzz cover api-check api-surface ci clean
+# Same-run throughput floor for the batched fleet kernel: batched must be
+# at least this many times faster than scalar on BenchmarkFleetThroughput.
+# Set from a measured 1.67x (see docs/benchmarks.md for why not more) with
+# margin for runner noise; raise it only after re-measuring, lower it only
+# with a written justification of what legitimately got slower.
+MIN_SPEEDUP ?= 1.4
+
+.PHONY: all build test race bench bench-json bench-baseline bench-ratio bench-record lint fmt fuzz cover api-check api-surface ci clean
 
 # The hot-loop benchmarks whose allocs/op are engineered to be flat and
 # machine-independent; bench-json gates them against BENCH_baseline.json.
 # BenchmarkStreamingRun covers the session-API streaming path (goroutine +
 # channel handoff per interval) on top of the raw simulation cell;
 # BenchmarkFleetCell covers the fleet unit of work (per-device scenario run
-# folded into the online aggregators, no trace retained).
-HOTBENCH = BenchmarkSimCell$$|BenchmarkSimCellDTPM$$|BenchmarkStreamingRun$$|BenchmarkFleetCell$$
+# folded into the online aggregators, no trace retained);
+# BenchmarkFleetThroughput covers the batched SoA fleet kernel against its
+# scalar oracle (same fleet, BatchSize 1 vs default).
+HOTBENCH = BenchmarkSimCell$$|BenchmarkSimCellDTPM$$|BenchmarkStreamingRun$$|BenchmarkFleetCell$$|BenchmarkFleetThroughput$$
 
 all: build
 
@@ -47,6 +56,26 @@ bench-json:
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(HOTBENCH)' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_baseline.json
+
+# Batched-vs-scalar throughput ratio gate. The two sub-benchmarks run in
+# the SAME invocation on the SAME host, so their devices/sec ratio is
+# host-independent even on noisy shared runners; 3 iterations average out
+# scheduler jitter. Fails when batched/scalar < MIN_SPEEDUP.
+bench-ratio:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput$$' -benchtime 3x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_throughput.json
+	$(GO) run ./cmd/benchjson \
+		-min-speedup 'BenchmarkFleetThroughput/batched,BenchmarkFleetThroughput/scalar,$(MIN_SPEEDUP)' \
+		BENCH_throughput.json
+
+# Archive a full benchmark sweep under benchmarks/results/ with a
+# timestamped filename and host provenance (OS/arch/CPU/core-count/Go
+# version): the directory accumulates the perf trajectory across commits
+# and machines. Local records are git-ignored; CI uploads its own as
+# workflow artifacts.
+bench-record:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... \
+		| $(GO) run ./cmd/benchjson -record benchmarks/results
 
 lint:
 	$(GO) vet ./...
@@ -85,7 +114,8 @@ api-check:
 api-surface:
 	$(GO) doc -all . > docs/api-surface.txt
 
-ci: build lint api-check race bench bench-json fuzz cover
+ci: build lint api-check race bench bench-json bench-ratio fuzz cover
 
 clean:
-	rm -f bench.txt coverage.out BENCH_latest.json .api-surface.latest
+	rm -f bench.txt coverage.out BENCH_latest.json BENCH_throughput.json .api-surface.latest
+	rm -rf benchmarks/results

@@ -185,6 +185,45 @@ func BenchmarkFleetCell(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetThroughput is the headline fleet-scaling number: a 64-cell
+// single-platform population under DTPM, run once per iteration, reported
+// as devices simulated per second. The two sub-benchmarks run the very
+// same population — /scalar forces BatchSize 1 (the per-cell oracle path),
+// /batched uses the engine's default lock-step batch width — so their
+// devices/sec ratio measures the batched SoA kernel's speedup on this
+// host, independent of what this host is. CI gates that ratio with
+// `benchjson -min-speedup`; the two runs must stay same-shape for the
+// ratio to mean anything, so change them together or not at all.
+func BenchmarkFleetThroughput(b *testing.B) {
+	ctx := benchContext(b)
+	spec := fleet.Spec{
+		N:              64,
+		Policy:         "dtpm",
+		Scenarios:      []fleet.Weight{{Name: "cold-start", Weight: 1}},
+		AmbientJitterC: 5,
+	}
+	run := func(b *testing.B, batchSize int) {
+		// Workers: 1 so the metric isolates kernel throughput, not host
+		// parallelism: both paths fan out across the same pool, and the
+		// ratio gate needs the single-worker per-device cost.
+		eng := &fleet.Engine{Workers: 1, Runner: ctx.Runner, Models: ctx.Char, BaseSeed: 1, BatchSize: batchSize}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := eng.Run(context.Background(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Completed != spec.N {
+				b.Fatalf("only %d/%d cells completed", rep.Completed, spec.N)
+			}
+		}
+		b.ReportMetric(float64(spec.N*b.N)/b.Elapsed().Seconds(), "devices/sec")
+	}
+	b.Run("scalar", func(b *testing.B) { run(b, 1) })
+	b.Run("batched", func(b *testing.B) { run(b, 0) })
+}
+
 // BenchmarkCharacterization times the complete Chapter 4 modeling flow
 // (furnace sweeps + four PRBS identification experiments) from scratch.
 func BenchmarkCharacterization(b *testing.B) {

@@ -2,10 +2,12 @@
 // JSON artifact and gates allocation regressions against a committed
 // baseline.
 //
-// Two modes:
+// Modes:
 //
 //	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson -out BENCH_latest.json
+//	go test -run '^$' -bench . -benchmem . | benchjson -record benchmarks/results
 //	benchjson -check BENCH_baseline.json BENCH_latest.json -max-allocs-regress 0.20
+//	benchjson -min-speedup 'Benchmark/batched,Benchmark/scalar,1.4' BENCH_latest.json
 //
 // The check compares allocs/op only: nanoseconds vary with the host, but
 // the hot loops are engineered to allocate a fixed, machine-independent
@@ -13,6 +15,18 @@
 // regression (a buffer that stopped being reused, a new per-step
 // allocation). ns/op and B/op are recorded in the artifact for trend
 // diffing across CI runs but never gated.
+//
+// -min-speedup gates a ratio of two benchmarks measured in the SAME run,
+// which IS host-independent: both numerator and denominator ran on the
+// same machine under the same load, so their throughput ratio survives
+// CI-runner variance that absolute ns/op gates cannot. The two entries
+// are compared on the devices_per_sec custom metric when both report it,
+// falling back to the inverse ns/op ratio otherwise.
+//
+// -record archives the parsed run under a timestamped filename together
+// with host provenance (OS, arch, CPU model, core count, Go version), so
+// a directory of records is a perf trajectory that can be diffed across
+// machines and commits.
 package main
 
 import (
@@ -22,9 +36,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Entry is one benchmark measurement.
@@ -34,18 +51,35 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values, keyed by a JSON-safe
+	// form of the unit ("devices/sec" -> "devices_per_sec").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Host records where a benchmark run was measured. Absolute numbers are
+// only comparable within one Host; ratios travel.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	CPUModel  string `json:"cpu_model,omitempty"`
 }
 
 // File is the artifact schema.
 type File struct {
+	RecordedAt string  `json:"recorded_at,omitempty"`
+	Host       *Host   `json:"host,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
 func main() {
 	var (
 		out        = flag.String("out", "", "write the parsed JSON artifact to this file (default stdout)")
+		record     = flag.String("record", "", "write the artifact to DIR/<utc-timestamp>.json with host provenance")
 		check      = flag.Bool("check", false, "compare two artifacts: benchjson -check baseline.json latest.json")
 		maxRegress = flag.Float64("max-allocs-regress", 0.20, "with -check: maximum tolerated fractional allocs/op growth")
+		minSpeedup = flag.String("min-speedup", "", "gate 'NUM,DEN,RATIO': in the given artifact, benchmark NUM must be at least RATIO times faster than DEN")
 		only       = flag.String("only", "", "comma-separated benchmark-name substrings to keep (empty = all)")
 	)
 	flag.Parse()
@@ -59,6 +93,15 @@ func main() {
 		}
 		return
 	}
+	if *minSpeedup != "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-min-speedup needs exactly one artifact file"))
+		}
+		if err := runSpeedup(flag.Arg(0), *minSpeedup); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	f, err := parse(os.Stdin, splitList(*only))
 	if err != nil {
@@ -66,6 +109,14 @@ func main() {
 	}
 	if len(f.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin (pipe `go test -bench -benchmem` output)"))
+	}
+	if *record != "" {
+		path, err := writeRecord(*record, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks recorded to %s\n", len(f.Benchmarks), path)
+		return
 	}
 	enc, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -85,6 +136,9 @@ func main() {
 // parse reads `go test -bench` text: lines of the form
 //
 //	BenchmarkName-8   	      10	  123456 ns/op	  4096 B/op	  12 allocs/op
+//
+// Extra value/unit pairs emitted by b.ReportMetric (e.g. "1434
+// devices/sec") land in Entry.Metrics.
 func parse(r io.Reader, only []string) (*File, error) {
 	var f File
 	sc := bufio.NewScanner(r)
@@ -128,6 +182,11 @@ func parse(r io.Reader, only []string) (*File, error) {
 				e.BytesPerOp = v
 			case "allocs/op":
 				e.AllocsPerOp = v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[metricKey(fields[i+1])] = v
 			}
 		}
 		f.Benchmarks = append(f.Benchmarks, e)
@@ -137,6 +196,22 @@ func parse(r io.Reader, only []string) (*File, error) {
 	}
 	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
 	return &f, nil
+}
+
+// metricKey makes a benchmark unit JSON-friendly: "devices/sec" becomes
+// "devices_per_sec".
+func metricKey(unit string) string {
+	unit = strings.ReplaceAll(unit, "/", "_per_")
+	var b strings.Builder
+	for _, r := range unit {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 func keep(name string, only []string) bool {
@@ -153,7 +228,9 @@ func keep(name string, only []string) bool {
 
 // runCheck fails (exit 1) when any benchmark present in BOTH files grew its
 // allocs/op by more than maxRegress. Benchmarks only in one file are
-// reported but never fail the gate (renames should not break CI).
+// reported but never fail the gate (renames should not break CI). The full
+// per-benchmark delta table is printed whether or not the gate passes, so
+// a green CI run still leaves a readable perf trail in its log.
 func runCheck(basePath, latestPath string, maxRegress float64) error {
 	base, err := load(basePath)
 	if err != nil {
@@ -171,7 +248,7 @@ func runCheck(basePath, latestPath string, maxRegress float64) error {
 	for _, e := range latest.Benchmarks {
 		b, ok := baseBy[e.Name]
 		if !ok {
-			fmt.Printf("benchjson: %-28s NEW     allocs/op=%.0f (no baseline)\n", e.Name, e.AllocsPerOp)
+			fmt.Printf("benchjson: %-36s NEW       allocs/op=%.0f (no baseline)\n", e.Name, e.AllocsPerOp)
 			continue
 		}
 		delete(baseBy, e.Name)
@@ -183,16 +260,104 @@ func runCheck(basePath, latestPath string, maxRegress float64) error {
 		} else if e.AllocsPerOp < b.AllocsPerOp {
 			status = "improved"
 		}
-		fmt.Printf("benchjson: %-28s %-9s allocs/op %.0f -> %.0f (limit %.0f)\n",
-			e.Name, status, b.AllocsPerOp, e.AllocsPerOp, limit)
+		fmt.Printf("benchjson: %-36s %-9s allocs/op %.0f -> %.0f (limit %.0f)  ns/op %.0f -> %.0f (info only)\n",
+			e.Name, status, b.AllocsPerOp, e.AllocsPerOp, limit, b.NsPerOp, e.NsPerOp)
 	}
 	for name := range baseBy {
-		fmt.Printf("benchjson: %-28s MISSING from latest run\n", name)
+		fmt.Printf("benchjson: %-36s MISSING from latest run\n", name)
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed allocs/op beyond %.0f%%; if intentional, regenerate the baseline with `make bench-baseline` and explain why in the commit", bad, maxRegress*100)
 	}
 	return nil
+}
+
+// runSpeedup enforces a same-run throughput ratio. spec is
+// "NUM,DEN,RATIO" (benchmark names cannot contain commas): benchmark NUM
+// must be at least RATIO times faster than benchmark DEN in the single
+// given artifact. Both entries came from one `go test -bench` invocation
+// on one machine, so the ratio is immune to host speed differences.
+func runSpeedup(path, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("-min-speedup wants 'NUM,DEN,RATIO', got %q", spec)
+	}
+	numName, denName := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	want, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || want <= 0 {
+		return fmt.Errorf("-min-speedup ratio %q is not a positive number", parts[2])
+	}
+	f, err := load(path)
+	if err != nil {
+		return err
+	}
+	byName := map[string]Entry{}
+	for _, e := range f.Benchmarks {
+		byName[e.Name] = e
+	}
+	num, ok := byName[numName]
+	if !ok {
+		return fmt.Errorf("%s: benchmark %q not in artifact", path, numName)
+	}
+	den, ok := byName[denName]
+	if !ok {
+		return fmt.Errorf("%s: benchmark %q not in artifact", path, denName)
+	}
+
+	ratio, basis := 0.0, "devices_per_sec"
+	if nd, dd := num.Metrics["devices_per_sec"], den.Metrics["devices_per_sec"]; nd > 0 && dd > 0 {
+		ratio = nd / dd
+	} else if num.NsPerOp > 0 && den.NsPerOp > 0 {
+		// Fallback for benchmarks without the custom metric: time per op.
+		ratio, basis = den.NsPerOp/num.NsPerOp, "ns_per_op"
+	} else {
+		return fmt.Errorf("%s: no comparable metric between %q and %q", path, numName, denName)
+	}
+	fmt.Printf("benchjson: speedup %s vs %s = %.2fx (%s basis, floor %.2fx)\n",
+		numName, denName, ratio, basis, want)
+	if ratio < want {
+		return fmt.Errorf("speedup %.2fx is below the %.2fx floor: %s got slower relative to %s; investigate before merging (if the workload changed intentionally, adjust the floor in the Makefile with justification)",
+			ratio, want, numName, denName)
+	}
+	return nil
+}
+
+// writeRecord archives the artifact under dir with a sortable UTC
+// timestamp filename and host provenance attached.
+func writeRecord(dir string, f *File) (string, error) {
+	now := time.Now().UTC()
+	f.RecordedAt = now.Format(time.RFC3339)
+	f.Host = &Host{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		CPUModel:  cpuModel(),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, now.Format("20060102T150405Z")+".json")
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// cpuModel best-effort reads the CPU model name; empty when the platform
+// does not expose /proc/cpuinfo (the record is still useful without it).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
 }
 
 func load(path string) (*File, error) {

@@ -14,6 +14,8 @@ pkg: repro
 BenchmarkSimCell-8     	       1	   4334007 ns/op	   41672 B/op	      59 allocs/op
 BenchmarkSimCellDTPM-8 	       1	   1540076 ns/op	  131512 B/op	      52 allocs/op
 BenchmarkCRC32-8       	       1	    100000 ns/op
+BenchmarkFleetThroughput/scalar-8    	       3	  44629704 ns/op	      1434 devices/sec	 2858965 B/op	    5095 allocs/op
+BenchmarkFleetThroughput/batched-8   	       3	  26790385 ns/op	      2389 devices/sec	 2901124 B/op	    6551 allocs/op
 PASS
 `
 
@@ -22,8 +24,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	if len(f.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(f.Benchmarks))
 	}
 	// Sorted by name; the -8 GOMAXPROCS suffix is stripped without eating
 	// digits that belong to the benchmark name.
@@ -38,6 +40,39 @@ func TestParse(t *testing.T) {
 	}
 	if cell.AllocsPerOp != 59 || cell.BytesPerOp != 41672 || cell.NsPerOp != 4334007 {
 		t.Errorf("SimCell entry: %+v", cell)
+	}
+}
+
+// TestParseCustomMetrics pins the b.ReportMetric handling: extra
+// value/unit pairs land in Metrics under a JSON-safe key, and B/op /
+// allocs/op still parse when a custom pair precedes them on the line.
+func TestParseCustomMetrics(t *testing.T) {
+	f, err := parse(strings.NewReader(benchOutput), []string{"FleetThroughput"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	for _, e := range f.Benchmarks {
+		if e.Metrics["devices_per_sec"] == 0 {
+			t.Errorf("%s: devices_per_sec missing from %v", e.Name, e.Metrics)
+		}
+		if e.AllocsPerOp == 0 || e.BytesPerOp == 0 {
+			t.Errorf("%s: B/op / allocs/op lost after the custom pair: %+v", e.Name, e)
+		}
+	}
+}
+
+func TestMetricKey(t *testing.T) {
+	for unit, want := range map[string]string{
+		"devices/sec": "devices_per_sec",
+		"MB/s":        "MB_per_s",
+		"cells sec":   "cells_sec",
+	} {
+		if got := metricKey(unit); got != want {
+			t.Errorf("metricKey(%q) = %q, want %q", unit, got, want)
+		}
 	}
 }
 
@@ -87,6 +122,60 @@ func TestRunCheck(t *testing.T) {
 	}
 	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("load of a missing artifact succeeded")
+	}
+}
+
+// TestRunSpeedup pins the same-run ratio gate: devices_per_sec is the
+// preferred basis, ns/op the fallback, and a ratio below the floor fails.
+func TestRunSpeedup(t *testing.T) {
+	art := writeArtifact(t, "tp.json", []Entry{
+		{Name: "Bench/scalar", NsPerOp: 44e6, Metrics: map[string]float64{"devices_per_sec": 1434}},
+		{Name: "Bench/batched", NsPerOp: 27e6, Metrics: map[string]float64{"devices_per_sec": 2389}},
+		{Name: "Bench/plain", NsPerOp: 88e6},
+	})
+	// 2389/1434 = 1.67x: clears a 1.4 floor, not a 2.0 floor.
+	if err := runSpeedup(art, "Bench/batched,Bench/scalar,1.4"); err != nil {
+		t.Fatalf("1.67x failed a 1.4x floor: %v", err)
+	}
+	if err := runSpeedup(art, "Bench/batched,Bench/scalar,2.0"); err == nil {
+		t.Fatal("1.67x passed a 2.0x floor")
+	}
+	// ns/op fallback when either side lacks the metric: 88e6/44e6 = 2x.
+	if err := runSpeedup(art, "Bench/scalar,Bench/plain,1.9"); err != nil {
+		t.Fatalf("ns/op fallback failed: %v", err)
+	}
+	for _, bad := range []string{"one,two", "a,b,zero", "a,b,-1", "Bench/batched,Nope,1.1", "Nope,Bench/scalar,1.1"} {
+		if err := runSpeedup(art, bad); err == nil {
+			t.Errorf("spec %q did not fail", bad)
+		}
+	}
+}
+
+// TestWriteRecord pins the archive mode: a sortable timestamped filename
+// and host provenance on the artifact.
+func TestWriteRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	f := &File{Benchmarks: []Entry{{Name: "BenchmarkX", NsPerOp: 1}}}
+	path, err := writeRecord(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir || !strings.HasSuffix(path, "Z.json") {
+		t.Fatalf("record path %q not a timestamped file under %q", path, dir)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got File
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.RecordedAt == "" || got.Host == nil || got.Host.GOOS == "" || got.Host.NumCPU < 1 || got.Host.GoVersion == "" {
+		t.Fatalf("record missing provenance: %+v", got)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].Name != "BenchmarkX" {
+		t.Fatalf("record lost benchmarks: %+v", got.Benchmarks)
 	}
 }
 

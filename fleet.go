@@ -51,8 +51,29 @@ func DeriveFleetCell(spec FleetSpec, baseSeed int64, index int) FleetCellConfig 
 	return fleet.DeriveCell(spec, baseSeed, index)
 }
 
-func (d *Device) fleetEngine(models *Models, workers int, baseSeed int64) *fleet.Engine {
-	eng := &fleet.Engine{Workers: workers, Runner: d.r, BaseSeed: baseSeed}
+// FleetOption tunes how a fleet executes — never what it computes: every
+// option preserves the byte-deterministic report contract.
+type FleetOption func(*fleetConfig)
+
+type fleetConfig struct {
+	batchSize int
+}
+
+// WithBatchSize caps how many same-(platform, scenario) devices the fleet
+// engine steps in lock-step through the batched structure-of-arrays
+// kernel. 0 (the default) uses the engine's built-in width; 1 forces the
+// scalar path. Batched devices produce byte-identical samples and reports,
+// so this is purely a throughput/latency knob.
+func WithBatchSize(n int) FleetOption {
+	return func(c *fleetConfig) { c.batchSize = n }
+}
+
+func (d *Device) fleetEngine(models *Models, workers int, baseSeed int64, opts ...FleetOption) *fleet.Engine {
+	var cfg fleetConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng := &fleet.Engine{Workers: workers, Runner: d.r, BaseSeed: baseSeed, BatchSize: cfg.batchSize}
 	if models != nil {
 		eng.Models = models.c
 	}
@@ -66,8 +87,8 @@ func (d *Device) fleetEngine(models *Models, workers int, baseSeed int64) *fleet
 // characterized once and cached. Cell failures are collected in the
 // report, never aborting the fleet; on cancellation the partial report
 // comes back with an error wrapping ErrCancelled.
-func (d *Device) RunFleet(ctx context.Context, spec FleetSpec, models *Models, workers int, baseSeed int64) (*FleetReport, error) {
-	return d.fleetEngine(models, workers, baseSeed).Run(ctx, spec)
+func (d *Device) RunFleet(ctx context.Context, spec FleetSpec, models *Models, workers int, baseSeed int64, opts ...FleetOption) (*FleetReport, error) {
+	return d.fleetEngine(models, workers, baseSeed, opts...).Run(ctx, spec)
 }
 
 // StreamFleet runs the population like RunFleet while yielding one
@@ -78,7 +99,7 @@ func (d *Device) RunFleet(ctx context.Context, spec FleetSpec, models *Models, w
 // out of the loop cancels the remaining cells, like cancelling the
 // context: the report function then returns the partial report and an
 // error wrapping ErrCancelled.
-func (d *Device) StreamFleet(ctx context.Context, spec FleetSpec, models *Models, workers int, baseSeed int64) (iter.Seq[FleetProgress], func() (*FleetReport, error), error) {
+func (d *Device) StreamFleet(ctx context.Context, spec FleetSpec, models *Models, workers int, baseSeed int64, opts ...FleetOption) (iter.Seq[FleetProgress], func() (*FleetReport, error), error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -86,7 +107,7 @@ func (d *Device) StreamFleet(ctx context.Context, spec FleetSpec, models *Models
 		ctx = context.Background()
 	}
 	ictx, cancel := context.WithCancel(ctx)
-	eng := d.fleetEngine(models, workers, baseSeed)
+	eng := d.fleetEngine(models, workers, baseSeed, opts...)
 	var (
 		ch       = make(chan FleetProgress)
 		nostream = make(chan struct{})

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// DefaultBatchSize is the lock-step batch width the engine uses when
+// Engine.BatchSize is 0. Wide enough to amortize the shared per-interval
+// work (script evaluation, RK4 scratch, power-model constants) across
+// devices, small enough that a unit stays cache-resident and the
+// collector's out-of-order window stays modest.
+const DefaultBatchSize = 16
+
+// batchSize resolves the engine's effective batch width.
+func (e *Engine) batchSize() int {
+	switch {
+	case e.BatchSize == 0:
+		return DefaultBatchSize
+	case e.BatchSize < 1:
+		return 1
+	default:
+		return e.BatchSize
+	}
+}
+
+// batchUnits partitions the population into work units for the pool:
+// cells sharing a (platform, scenario) pair — and therefore a runner and a
+// scenario shape — are grouped in index order and chunked to the batch
+// width. Units of one cell (stragglers, or BatchSize 1) run the plain
+// scalar path. DeriveCell is pure and cheap, so planning re-derives the
+// configs rather than retaining spec.N of them.
+func (e *Engine) batchUnits(spec Spec) [][]int {
+	size := e.batchSize()
+	byKey := map[[2]string][]int{}
+	var order [][2]string
+	for i := 0; i < spec.N; i++ {
+		cfg := DeriveCell(spec, e.BaseSeed, i)
+		key := [2]string{cfg.Platform, cfg.Scenario}
+		if _, ok := byKey[key]; !ok {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], i)
+	}
+	units := make([][]int, 0, spec.N/size+len(order))
+	for _, k := range order {
+		idx := byKey[k]
+		for len(idx) > size {
+			units = append(units, idx[:size:size])
+			idx = idx[size:]
+		}
+		units = append(units, idx)
+	}
+	return units
+}
+
+// runBatchUnit executes one work unit. Multi-cell units try the lock-step
+// batch kernel first; on any refusal — incompatible options, a mid-run
+// error, a panic — the unit falls back to per-cell scalar runs, which are
+// always correct and reproduce any per-cell failure in the cell it belongs
+// to. The outcomes are returned in unit order (outs[j] belongs to
+// indices[j]).
+func (e *Engine) runBatchUnit(ctx context.Context, spec Spec, pol sim.Policy, indices []int) []cellOutcome {
+	if len(indices) > 1 {
+		if outs, ok := e.tryRunBatch(ctx, spec, pol, indices); ok {
+			return outs
+		}
+	}
+	outs := make([]cellOutcome, len(indices))
+	for j, i := range indices {
+		outs[j] = e.runCell(ctx, spec, pol, i, false)
+	}
+	return outs
+}
+
+// tryRunBatch assembles and runs one batch. ok=false means "use the
+// scalar fallback" and promises that no outcome has been produced; the
+// partially-observed aggregators it may leave behind are abandoned (the
+// fallback builds fresh ones).
+func (e *Engine) tryRunBatch(ctx context.Context, spec Spec, pol sim.Policy, indices []int) (outs []cellOutcome, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs, ok = nil, false
+		}
+	}()
+	n := len(indices)
+	cfgs := make([]CellConfig, n)
+	opts := make([]sim.Options, n)
+	aggs := make([]*cellAgg, n)
+	var (
+		runner *sim.Runner
+		models *sim.Characterization
+		err    error
+	)
+	for j, i := range indices {
+		cfgs[j] = DeriveCell(spec, e.BaseSeed, i)
+		if j == 0 {
+			runner, models, err = e.pool.DeviceFor(ctx, cfgs[j].Platform)
+			if err != nil {
+				return nil, false
+			}
+		}
+		opts[j], aggs[j], err = cellOptions(spec, pol, cfgs[j], runner, models, false)
+		if err != nil {
+			return nil, false
+		}
+	}
+	if ctx.Err() != nil {
+		outs = make([]cellOutcome, n)
+		for j := range outs {
+			outs[j] = cellOutcome{cfg: cfgs[j], err: "fleet: cancelled before start"}
+		}
+		return outs, true
+	}
+	results, err := runner.RunBatch(ctx, opts)
+	if err != nil {
+		if errors.Is(err, sim.ErrCancelled) && results != nil {
+			// The whole batch was cancelled at one interval boundary;
+			// collect every cell as cancelled, like the scalar path does.
+			outs = make([]cellOutcome, n)
+			for j := range outs {
+				outs[j] = cellOutcome{cfg: cfgs[j], err: err.Error()}
+			}
+			return outs, true
+		}
+		// Incompatible batch or a per-device error: the scalar fallback
+		// attributes it to the right cell.
+		return nil, false
+	}
+	outs = make([]cellOutcome, n)
+	for j := range indices {
+		aggs[j].finish(results[j])
+		outs[j] = cellOutcome{cfg: cfgs[j], agg: aggs[j], metrics: aggs[j].metrics()}
+	}
+	return outs, true
+}

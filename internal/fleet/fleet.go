@@ -43,6 +43,11 @@ type Engine struct {
 	// OnCellDone, when set, receives a Progress event after each cell,
 	// serially.
 	OnCellDone func(Progress)
+	// BatchSize caps how many same-(platform, scenario) cells Run steps in
+	// lock-step through the batched SoA kernel (0 = DefaultBatchSize, 1 =
+	// scalar only). Batched cells are byte-identical to scalar runs, so
+	// the knob trades throughput against per-unit latency, never results.
+	BatchSize int
 
 	mu   sync.Mutex // guards pool construction
 	pool *campaign.Engine
@@ -123,14 +128,20 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 		mu   sync.Mutex
 		done int
 	)
-	e.pool.ForEach(spec.N, func(i int) {
-		out := e.runCell(ctx, spec, pol, i, false)
-		coll.add(i, out)
-		if e.OnCellDone != nil {
-			mu.Lock()
-			done++
-			e.OnCellDone(Progress{Done: done, Total: spec.N, Cell: out.cfg, Metrics: out.metrics, Err: out.err})
-			mu.Unlock()
+	// Work units pack same-(platform, scenario) cells for the batched
+	// kernel; single-cell units take the scalar path inside runBatchUnit,
+	// so BatchSize 1 degenerates to the original per-cell fan-out.
+	units := e.batchUnits(spec)
+	e.pool.ForEach(len(units), func(u int) {
+		outs := e.runBatchUnit(ctx, spec, pol, units[u])
+		for j, out := range outs {
+			coll.add(units[u][j], out)
+			if e.OnCellDone != nil {
+				mu.Lock()
+				done++
+				e.OnCellDone(Progress{Done: done, Total: spec.N, Cell: out.cfg, Metrics: out.metrics, Err: out.err})
+				mu.Unlock()
+			}
 		}
 	})
 	rep := coll.report(spec, e.BaseSeed)

@@ -39,7 +39,8 @@ type Task struct {
 	Done       bool
 	FinishedAt float64
 
-	core int // current core assignment
+	core   int     // current core assignment
+	demand float64 // cached demand for the current TickWith interval
 }
 
 // Core returns the task's current core assignment.
@@ -282,6 +283,144 @@ func (s *Sched) Tick(dt float64, cluster *platform.Cluster) TickResult {
 	}
 	s.now += dt
 	return res
+}
+
+// TickWith advances the scheduler exactly like Tick, but reads each task's
+// demand from demands — demands[j] belongs to the j-th Add-ed task — instead
+// of calling the Demand closures. Tick evaluates every runnable task's
+// closure up to three times per interval (load accounting, displacement
+// sort, core-time and cycle math); TickWith evaluates each exactly zero
+// times, which is what lets the batched fleet kernel compute the
+// device-independent part of scripted demand once per batch.
+//
+// The contract is byte-identity with Tick: the caller guarantees
+// demands[j] == tasks[j].Demand(s.Now()) bitwise for this interval. That
+// holds only for pure demand functions (scripted scenarios, background
+// levels frozen for the tick); benchmark generators advance RNG state on
+// every call and MUST keep using Tick.
+func (s *Sched) TickWith(dt float64, cluster *platform.Cluster, demands []float64) TickResult {
+	var res TickResult
+	if dt <= 0 {
+		return res
+	}
+	if len(demands) != len(s.tasks) {
+		panic(fmt.Sprintf("kernel: TickWith got %d demands for %d tasks", len(demands), len(s.tasks)))
+	}
+	for j, t := range s.tasks {
+		t.demand = demands[j]
+	}
+	s.rebalanceCached(cluster)
+	n := cluster.NumCores()
+	rho := cluster.Freq().Hz() * cluster.IPC / workload.RefCapacity // speed ratio
+
+	perCore := s.perCore[:n]
+	for c := range perCore {
+		perCore[c] = perCore[c][:0]
+	}
+	for _, t := range s.tasks {
+		if t.Done {
+			continue
+		}
+		perCore[t.core] = append(perCore[t.core], t)
+	}
+	res.CoreUtil = s.coreUtil[:n]
+	for i := range res.CoreUtil {
+		res.CoreUtil[i] = 0
+	}
+	for c := 0; c < n; c++ {
+		if len(perCore[c]) == 0 {
+			continue
+		}
+		need := 0.0
+		for _, t := range perCore[c] {
+			need += t.demand * ((1-t.MemBound)/rho + t.MemBound)
+		}
+		if need <= 0 {
+			continue
+		}
+		util := need
+		scale := 1.0
+		if util > 1 {
+			scale = 1 / util
+			util = 1
+			res.Saturated = true
+		}
+		res.CoreUtil[c] = util
+		for _, t := range perCore[c] {
+			cycles := t.demand * workload.RefCapacity * scale * dt
+			res.WorkDone += cycles
+			if t.Foreground() {
+				t.WorkLeft -= cycles
+				if t.WorkLeft <= 0 {
+					t.WorkLeft = 0
+					t.Done = true
+					t.FinishedAt = s.now + dt
+				}
+			}
+		}
+	}
+	s.now += dt
+	return res
+}
+
+// rebalanceCached is rebalance over the demands cached by TickWith. On the
+// common steady-state tick (no task displaced) it additionally skips the
+// per-core load accounting entirely: load is recomputed from scratch every
+// call and consumed only by displacement placement, so with nothing to
+// place it is dead work.
+func (s *Sched) rebalanceCached(cluster *platform.Cluster) {
+	n := cluster.NumCores()
+	s.grow(n)
+	displaced := s.displaced[:0]
+	for _, t := range s.tasks {
+		if t.Done {
+			continue
+		}
+		if !(t.core >= 0 && t.core < n && cluster.CoreOnline(t.core)) {
+			displaced = append(displaced, t)
+		}
+	}
+	s.displaced = displaced // keep the (possibly regrown) buffer for reuse
+	if len(displaced) == 0 {
+		return
+	}
+	load := s.load[:n]
+	for i := range load {
+		load[i] = 0
+	}
+	for _, t := range s.tasks {
+		if t.Done {
+			continue
+		}
+		if t.core >= 0 && t.core < n && cluster.CoreOnline(t.core) {
+			load[t.core] += t.demand
+		}
+	}
+	// Deterministic order: heaviest demand first onto least-loaded cores.
+	// Stable sort over the same key values Tick's comparator re-evaluates,
+	// so the placement permutation is identical.
+	if len(displaced) > 1 {
+		sort.SliceStable(displaced, func(i, j int) bool {
+			return displaced[i].demand > displaced[j].demand
+		})
+	}
+	for _, t := range displaced {
+		best, bestLoad := -1, math.Inf(1)
+		for c := 0; c < n; c++ {
+			if !cluster.CoreOnline(c) {
+				continue
+			}
+			if load[c] < bestLoad {
+				best, bestLoad = c, load[c]
+			}
+		}
+		if best < 0 {
+			// No core online: cannot happen (platform keeps one online).
+			panic("kernel: no online core to place task")
+		}
+		t.core = best
+		load[best] += t.demand
+	}
 }
 
 // String summarizes the scheduler state.

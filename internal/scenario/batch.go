@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Compiled implements sim.BatchScript: a fleet batch of cells running one
+// scenario shape shares the per-interval phase lookup, waveform
+// modulation, and conditions read, leaving only the per-device jitter
+// factor and ambient override to per-device evaluation.
+
+// SharedStep implements sim.BatchScript. The DemandBase computation is
+// WorkerDemand's prefix — the same expressions in the same order up to
+// (but excluding) the jitter multiply — so WorkerDemandShared can continue
+// it bit-identically.
+func (c *Compiled) SharedStep(t float64) sim.SharedStep {
+	p := c.phaseAt(t)
+	sh := sim.SharedStep{
+		Time:       t,
+		Cond:       c.Conditions(t),
+		Idle:       p.idle,
+		PhaseIndex: p.index,
+		PhaseStart: p.start,
+	}
+	if !p.idle {
+		sh.Threads = p.bench.Threads
+		d := p.bench.Demand * p.scale
+		if p.bench.PhasePeriod > 0 && p.bench.PhaseAmp > 0 {
+			phase := math.Sin(2 * math.Pi * (t - p.start) / p.bench.PhasePeriod)
+			d *= 1 + p.bench.PhaseAmp*math.Tanh(3*phase)
+		}
+		sh.DemandBase = d
+	}
+	return sh
+}
+
+// WorkerDemandShared implements sim.BatchScript: WorkerDemand(i, sh.Time)
+// with the device-independent base read from sh and only this scenario's
+// jitter stream applied.
+func (c *Compiled) WorkerDemandShared(sh *sim.SharedStep, i int) float64 {
+	if sh.Idle || i < 0 || i >= sh.Threads {
+		return 0
+	}
+	tl := sh.Time - sh.PhaseStart
+	d := sh.DemandBase
+	d *= 1 + 0.05*jitter(c.seed, int64(sh.PhaseIndex), int64(i), int64(tl/0.1))
+	return clamp01(d)
+}
+
+// AmbientAt implements sim.BatchScript: this scenario's ambient override
+// for the shared step's phase (Conditions(sh.Time).AmbientC).
+func (c *Compiled) AmbientAt(sh *sim.SharedStep) float64 {
+	return c.phases[sh.PhaseIndex].ambient
+}
+
+// ShapeSignature implements sim.BatchScript. Two compiled scenarios with
+// equal signatures have identical flattened phase grids, workloads,
+// scales, and governor swaps — everything the lock-step batch kernel
+// shares — while the signature deliberately excludes the jitter seed and
+// the ambient profile, the two axes Perturbed varies per fleet cell.
+// Floats are fingerprinted by their exact bit patterns: shapes must match
+// bitwise, not approximately.
+func (c *Compiled) ShapeSignature() string {
+	var b strings.Builder
+	bits := func(v float64) {
+		b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
+		b.WriteByte(',')
+	}
+	b.WriteString(c.name)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(c.workers))
+	b.WriteByte('|')
+	bits(c.duration)
+	for i := range c.phases {
+		p := &c.phases[i]
+		b.WriteByte(';')
+		bits(p.start)
+		bits(p.dur)
+		if p.idle {
+			b.WriteByte('i')
+		} else {
+			b.WriteString(p.bench.Name)
+		}
+		b.WriteByte(',')
+		bits(p.scale)
+		b.WriteString(p.governor)
+	}
+	return b.String()
+}

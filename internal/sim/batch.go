@@ -1,0 +1,486 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dtpm"
+	"repro/internal/governor"
+	"repro/internal/kernel"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sensor"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// ErrBatchIncompatible reports that a set of runs cannot share a batch:
+// RunBatch refuses rather than silently diverging from the scalar oracle,
+// and the fleet scheduler falls back to per-cell scalar runs.
+var ErrBatchIncompatible = errors.New("sim: runs are not batch-compatible")
+
+// SharedStep is the device-independent slice of one control interval of a
+// scripted scenario: everything a BatchScript can compute once per batch
+// instead of once per device. Cond carries the full interval conditions —
+// including AmbientC, which is the only per-device field; batch consumers
+// must read each device's ambient through AmbientAt instead.
+type SharedStep struct {
+	// Time is the interval start on the script clock.
+	Time float64
+	// Cond is the interval's conditions as the reference device sees them.
+	Cond Conditions
+	// Idle is true during screen-off gaps (no foreground demand).
+	Idle bool
+	// Threads is the foreground worker count of the current phase.
+	Threads int
+	// DemandBase is the per-worker demand before the per-device jitter
+	// factor: benchmark demand x phase scale x waveform modulation.
+	DemandBase float64
+	// PhaseIndex / PhaseStart locate the current phase for the per-device
+	// jitter stream and ambient lookup.
+	PhaseIndex int
+	PhaseStart float64
+}
+
+// BatchScript is a Script whose per-interval evaluation splits into a
+// shared part (one SharedStep per batch per interval) and a cheap
+// per-device part. The contract is bit-identity: for scripts of one shape,
+// WorkerDemandShared(SharedStep(t), i) must equal WorkerDemand(i, t)
+// bitwise, and AmbientAt must equal Conditions(t).AmbientC — the batched
+// fleet kernel's byte-identity guarantee rests on it.
+type BatchScript interface {
+	Script
+	// SharedStep evaluates the device-independent interval state at t.
+	SharedStep(t float64) SharedStep
+	// WorkerDemandShared is WorkerDemand(i, sh.Time) continued from the
+	// shared base: only the per-device jitter factor is applied here.
+	WorkerDemandShared(sh *SharedStep, i int) float64
+	// AmbientAt is this device's Conditions(sh.Time).AmbientC.
+	AmbientAt(sh *SharedStep) float64
+	// ShapeSignature fingerprints everything two scripts must share to be
+	// steppable in lock-step — phase timing, workloads, scales, governor
+	// swaps — and nothing that may vary per device (jitter seed, ambient).
+	ShapeSignature() string
+}
+
+// batchDev is the complete mutable state of one device in a batch: the
+// exact per-run state Run builds, minus the thermal integrator (owned by
+// the shared BatchSim) and the prediction-accounting ring (skipped; see
+// RunBatch).
+type batchDev struct {
+	opt         Options
+	script      BatchScript
+	res         *Result
+	chip        *platform.Chip
+	bank        *sensor.Bank
+	fan         *thermal.FanController
+	reactive    *dtpm.ReactiveHeuristic
+	ctrl        *dtpm.Controller
+	gov         governor.CPUGovernor
+	gpuGov      *governor.GPU
+	sched       *kernel.Sched
+	scriptTasks []*kernel.Task
+	bg          *workload.Background
+	bgUtil      []float64
+
+	demands     []float64 // TickWith input, worker demands then bg levels
+	prevUtil    []float64
+	sensedTemps []float64
+	corePow     []float64 // aliases the BatchSim input row
+	st          thermal.State
+
+	prevGPUUtil   float64
+	prevPowers    [platform.NumResources]float64
+	energy        float64
+	maxTempSeries []float64
+}
+
+// RunBatch executes len(opts) scripted runs in lock-step as one batch,
+// sharing the per-interval script evaluation, the thermal integrator's
+// stage buffers, and a fused power evaluation across devices. Per device
+// the control flow replays Run operation for operation, so every Sample an
+// observer sees and every Result field a fleet consumes is byte-identical
+// to the scalar path — except the §6.3.1 prediction-accuracy accounting
+// (PredMeanPct, PredMaxPct, PredMaxAbsC stay zero): it is bookkeeping no
+// fleet output consumes, and recomputing it per device would cost a
+// model-order prediction per interval for a metric nobody reads. Callers
+// that need Pred* run scalar.
+//
+// All runs must be batch-compatible — scripted with one BatchScript shape,
+// equal policy/TMax/control period/governor, no recording — otherwise
+// RunBatch returns ErrBatchIncompatible and the caller is expected to fall
+// back to scalar Run calls. Any mid-run error (and cancellation) aborts
+// the whole batch the way Run aborts a single device.
+func (r *Runner) RunBatch(ctx context.Context, opts []Options) ([]*Result, error) {
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBatchIncompatible)
+	}
+	B := len(opts)
+
+	// Normalize every option set exactly like Run, then insist the batch
+	// agrees on everything that is shared in lock-step.
+	scripts := make([]BatchScript, B)
+	for i := range opts {
+		opt := &opts[i]
+		if opt.ControlPeriod == 0 {
+			opt.ControlPeriod = 0.1
+		}
+		if opt.TMax == 0 {
+			opt.TMax = 63
+		}
+		if opt.Governor == "" {
+			opt.Governor = "ondemand"
+		}
+		if opt.Script == nil {
+			return nil, fmt.Errorf("%w: run %d is not scripted", ErrBatchIncompatible, i)
+		}
+		bs, ok := opt.Script.(BatchScript)
+		if !ok {
+			return nil, fmt.Errorf("%w: run %d script %T does not implement BatchScript", ErrBatchIncompatible, i, opt.Script)
+		}
+		scripts[i] = bs
+		if opt.MaxDuration == 0 {
+			opt.MaxDuration = opt.Script.Duration()
+		}
+		if opt.Record {
+			return nil, fmt.Errorf("%w: run %d records traces", ErrBatchIncompatible, i)
+		}
+	}
+	ref := &opts[0]
+	shape := scripts[0].ShapeSignature()
+	for i := 1; i < B; i++ {
+		o := &opts[i]
+		if o.Policy != ref.Policy || o.TMax != ref.TMax || o.ControlPeriod != ref.ControlPeriod ||
+			o.Governor != ref.Governor || o.MaxDuration != ref.MaxDuration {
+			return nil, fmt.Errorf("%w: run %d disagrees with run 0 on shared knobs", ErrBatchIncompatible, i)
+		}
+		if scripts[i].ShapeSignature() != shape {
+			return nil, fmt.Errorf("%w: run %d scenario shape differs from run 0", ErrBatchIncompatible, i)
+		}
+	}
+
+	desc := r.desc()
+	nodes := platform.NewChipFor(desc).BigCluster.NumCores()
+	maxCores := desc.MaxClusterCores()
+	nWorkers := scripts[0].Workers()
+	nTasks := nWorkers + nodes
+
+	// Shared thermal integrator: B devices, one set of RK4 stage buffers.
+	bsim := thermal.NewBatchSim(r.Thermal, B)
+	idle := r.IdleState()
+
+	// One flat backing array for every per-device per-step vector buffer,
+	// mirroring Run's allocation-reuse invariant batch-wide.
+	perDev := maxCores + 2*nodes + nTasks
+	flat := make([]float64, B*perDev)
+
+	devs := make([]*batchDev, B)
+	devSlab := make([]batchDev, B)
+	for d := 0; d < B; d++ {
+		dev := &devSlab[d]
+		devs[d] = dev
+		opt := opts[d]
+		dev.opt = opt
+		dev.script = scripts[d]
+
+		gov, err := governor.ByName(opt.Governor)
+		if err != nil {
+			return nil, err
+		}
+		dev.gov = gov
+		dev.gpuGov = governor.NewGPU()
+		dev.chip = platform.NewChipFor(desc)
+		bsim.SetState(d, idle)
+		dev.bank = sensor.NewBank(r.Sensors, opt.Seed)
+		if desc.Fan != nil {
+			dev.fan = thermal.NewFanControllerFor(*desc.Fan)
+		}
+		dev.reactive = dtpm.NewReactiveHeuristic()
+
+		if opt.Model != nil {
+			if opt.Model.States() != nodes {
+				return nil, fmt.Errorf("sim: %w: model order %d vs platform %s (%d hotspot nodes) — characterize the same platform the run uses",
+					ErrModelPlatformMismatch, opt.Model.States(), desc.Name, nodes)
+			}
+			if opt.Model.Platform != "" && opt.Model.Platform != desc.Name {
+				return nil, fmt.Errorf("sim: %w: model was identified on platform %s, refusing to drive %s with it",
+					ErrModelPlatformMismatch, opt.Model.Platform, desc.Name)
+			}
+		}
+		if opt.Policy == PolicyDTPM {
+			if opt.Model == nil {
+				return nil, fmt.Errorf("sim: PolicyDTPM requires an identified thermal model")
+			}
+			pm := opt.PowerModel
+			if pm == nil {
+				pm = r.groundTruthPowerModel()
+			} else {
+				pm = pm.Clone()
+			}
+			cfg := dtpm.DefaultConfig()
+			if opt.DTPM != nil {
+				cfg = *opt.DTPM
+			}
+			cfg.TMax = opt.TMax
+			dev.ctrl, err = dtpm.NewController(cfg, opt.Model, pm)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Workload: same task pool layout as Run — script workers first,
+		// then background daemons — so TickWith demand indices line up.
+		dev.sched = kernel.NewSched()
+		dev.sched.Reserve(nTasks, maxCores)
+		taskPool := make([]kernel.Task, nTasks)
+		for i := 0; i < nWorkers; i++ {
+			tk := &taskPool[i]
+			*tk = kernel.Task{
+				Name:     fmt.Sprintf("%s-w%d", opt.Script.Name(), i),
+				WorkLeft: math.Inf(1),
+			}
+			dev.scriptTasks = append(dev.scriptTasks, tk)
+			dev.sched.Add(tk)
+		}
+		dev.bg = workload.NewBackgroundN(opt.Seed+77, nodes)
+		dev.bgUtil = dev.bg.UtilAt()
+		for i := 0; i < nodes; i++ {
+			tk := &taskPool[nWorkers+i]
+			*tk = kernel.Task{
+				Name:     bgTaskName(i),
+				MemBound: 0.3,
+				WorkLeft: math.Inf(1),
+			}
+			dev.sched.Add(tk)
+		}
+
+		base := flat[d*perDev : (d+1)*perDev : (d+1)*perDev]
+		dev.prevUtil = base[0:maxCores:maxCores]
+		dev.sensedTemps = base[maxCores : maxCores+nodes : maxCores+nodes]
+		dev.st = thermal.State{Core: base[maxCores+nodes : maxCores+2*nodes : maxCores+2*nodes]}
+		dev.demands = base[maxCores+2*nodes:]
+		dev.corePow = bsim.CoreInput(d)
+
+		dev.res = &Result{Bench: opt.Script.Name(), Policy: opt.Policy}
+
+		// Initialize the power observation with an idle reading, exactly
+		// like Run's pre-loop Evaluate.
+		idleAct := power.ChipActivity{CoreUtil: dev.prevUtil, CPUActivity: 1}
+		bsim.StateInto(d, &dev.st)
+		b0 := r.GT.Evaluate(dev.chip, idleAct, dev.st.Core, dev.st.Board)
+		dev.prevPowers = b0.Domain
+	}
+
+	dt := ref.ControlPeriod
+	steps := int(ref.MaxDuration/dt) + 1
+	for d := range devs {
+		devs[d].maxTempSeries = make([]float64, 0, steps)
+	}
+
+	// The batch agrees on the initial governor and sees one shared
+	// condition stream, so the "did the script swap the governor" question
+	// has one answer per step; the fresh instances are per device.
+	govName := ref.Governor
+
+	done := ctx.Done()
+	cancelled := false
+	completed := false
+
+	elapsed := 0.0
+	for k := 0; k < steps; k++ {
+		select {
+		case <-done:
+			cancelled = true
+		default:
+		}
+		if cancelled {
+			break
+		}
+
+		// Shared per-interval script evaluation: one phase lookup, one
+		// waveform modulation, one conditions read for the whole batch.
+		sh := scripts[0].SharedStep(elapsed)
+		cond := sh.Cond
+		if cond.Governor != "" && cond.Governor != govName {
+			fresh, gerr := governor.ByNameN(cond.Governor, B)
+			if gerr != nil {
+				return nil, gerr
+			}
+			for d := range devs {
+				devs[d].gov = fresh[d]
+			}
+			govName = cond.Governor
+		}
+
+		for d, dev := range devs {
+			if amb := dev.script.AmbientAt(&sh); amb != 0 {
+				bsim.SetAmbient(d, amb)
+			}
+			for _, tk := range dev.scriptTasks {
+				tk.MemBound = cond.MemBound
+			}
+			bsim.StateInto(d, &dev.st)
+			dev.bank.ReadCoreTempsInto(dev.sensedTemps, dev.st.Core)
+			sensedPowers := dev.bank.ReadDomainPowers(dev.prevPowers)
+			maxSensed := dev.sensedTemps[0]
+			for _, t := range dev.sensedTemps[1:] {
+				if t > maxSensed {
+					maxSensed = t
+				}
+			}
+
+			active := dev.chip.Active()
+			govFreq := dev.gov.Decide(dev.prevUtil, active.Freq(), active.Domain)
+			gpuWant := dev.gpuGov.Decide(dev.prevGPUUtil, dev.chip.GPUFreq(), dev.chip.GPUDomain)
+
+			fanSpeed := 0.0
+			effFreq := govFreq
+			effGPU := gpuWant
+			switch dev.opt.Policy {
+			case PolicyFan:
+				if dev.fan != nil {
+					fanSpeed = dev.fan.Update(maxSensed)
+				}
+			case PolicyNoFan:
+				// governor only
+			case PolicyReactive:
+				if cap := dev.reactive.Cap(maxSensed, active.Domain); cap != 0 && cap < effFreq {
+					effFreq = cap
+				}
+			case PolicyDTPM:
+				gpuActive := cond.GPUDemand > 0
+				dec := dev.ctrl.Update(dev.chip, dtpm.Inputs{
+					Temps:        dev.sensedTemps,
+					Powers:       sensedPowers,
+					GovernorFreq: govFreq,
+					GPUActive:    gpuActive,
+				})
+				lim := dec.Limits
+				if lim.ForceLittle && dev.chip.ActiveKind() == platform.BigCluster {
+					dev.chip.SwitchCluster(platform.LittleCluster)
+					dev.sched.MigrateAll()
+					dev.gov.Reset()
+					dev.ctrl.Power.AlphaC[platform.Little].Reset()
+				} else if !lim.ForceLittle && dev.chip.ActiveKind() == platform.LittleCluster {
+					dev.chip.SwitchCluster(platform.BigCluster)
+					dev.sched.MigrateAll()
+					dev.gov.Reset()
+					dev.ctrl.Power.AlphaC[platform.Big].Reset()
+				}
+				active = dev.chip.Active()
+				applyCoreLimit(dev.chip, lim)
+				effFreq = dev.gov.Decide(dev.prevUtil, active.Freq(), active.Domain)
+				if dev.chip.ActiveKind() == platform.BigCluster && lim.BigFreqCap != 0 && lim.BigFreqCap < effFreq {
+					effFreq = lim.BigFreqCap
+				}
+				if dev.chip.ActiveKind() == platform.LittleCluster && lim.LittleFreqCap != 0 && lim.LittleFreqCap < effFreq {
+					effFreq = lim.LittleFreqCap
+				}
+				if lim.GPUFreqCap != 0 && lim.GPUFreqCap < effGPU {
+					effGPU = lim.GPUFreqCap
+				}
+			}
+			if err := active.SetFreq(effFreq); err != nil {
+				return nil, err
+			}
+			if err := dev.chip.SetGPUFreq(effGPU); err != nil {
+				return nil, err
+			}
+
+			// (Run's prediction-accuracy accounting would go here; the
+			// batch path skips it — see the function comment.)
+
+			// Advance the workload: worker demands finish from the shared
+			// base (per-device jitter only), background levels refresh
+			// their per-device random walk, and TickWith consumes the
+			// cached values without re-evaluating any closures.
+			dev.bgUtil = dev.bg.UtilAt()
+			for i := 0; i < nWorkers; i++ {
+				dev.demands[i] = dev.script.WorkerDemandShared(&sh, i)
+			}
+			copy(dev.demands[nWorkers:], dev.bgUtil)
+			tick := dev.sched.TickWith(dt, active, dev.demands)
+			for i := copy(dev.prevUtil, tick.CoreUtil); i < len(dev.prevUtil); i++ {
+				dev.prevUtil[i] = 0
+			}
+
+			gpuDemand := cond.GPUDemand
+			gpuScale := float64(dev.chip.GPUDomain.MaxFreq()) / float64(dev.chip.GPUFreq())
+			dev.prevGPUUtil = math.Min(1, gpuDemand*gpuScale)
+
+			sumUtil := 0.0
+			for _, u := range tick.CoreUtil {
+				sumUtil += u
+			}
+			act := power.ChipActivity{
+				CoreUtil:    tick.CoreUtil,
+				CPUActivity: cond.CPUActivity,
+				GPUUtil:     dev.prevGPUUtil,
+				GPUActivity: cond.GPUActivity,
+				MemTraffic:  cond.MemTraffic*math.Min(1, sumUtil) + 0.4*dev.prevGPUUtil,
+				FanSpeed:    fanSpeed,
+			}
+			// Fused ground-truth evaluation: Run's Evaluate +
+			// CorePowersInto pair in one pass, bit-identical.
+			breakdown, boardPow := r.GT.StepInto(dev.corePow, dev.chip, act, dev.st.Core, dev.st.Board)
+			dev.prevPowers = breakdown.Domain
+			bsim.Step(d, dt, boardPow, fanSpeed)
+
+			trueMax := dev.st.MaxCore()
+			dev.maxTempSeries = append(dev.maxTempSeries, trueMax)
+			platPower := breakdown.Platform()
+			dev.energy += platPower * dt
+			if trueMax > dev.opt.TMax {
+				dev.res.OverTMax += dt
+			}
+			if dev.opt.Observer != nil {
+				dev.opt.Observer(Sample{
+					Step:      k,
+					Time:      elapsed,
+					MaxTemp:   trueMax,
+					FreqGHz:   active.Freq().GHz(),
+					Power:     platPower,
+					FanSpeed:  fanSpeed,
+					Cores:     float64(active.OnlineCount()),
+					Cluster:   float64(dev.chip.ActiveKind()),
+					GPUMHz:    dev.chip.GPUFreq().MHz(),
+					BoardTemp: dev.st.Board,
+					BigPower:  breakdown.Domain[platform.Big],
+				})
+			}
+		}
+		elapsed += dt
+
+		if elapsed >= scripts[0].Duration()-1e-9 {
+			completed = true
+			break
+		}
+	}
+
+	results := make([]*Result, B)
+	for d, dev := range devs {
+		res := dev.res
+		res.Completed = completed
+		res.ExecTime = elapsed
+		res.Energy = dev.energy
+		if len(dev.maxTempSeries) > 0 {
+			res.AvgPower = dev.energy / elapsed
+			res.MaxTemp = stats.Max(dev.maxTempSeries)
+			res.AvgTemp = stats.Mean(dev.maxTempSeries)
+			res.TempVar = stats.Variance(dev.maxTempSeries)
+			res.Spread = stats.Spread(dev.maxTempSeries)
+			ss := steadyWindow(dev.maxTempSeries, dev.opt.TMax)
+			res.SSAvgTemp = stats.Mean(ss)
+			res.SSTempVar = stats.Variance(ss)
+			res.SSSpread = stats.Spread(ss)
+		}
+		results[d] = res
+	}
+	if cancelled {
+		return results, fmt.Errorf("sim: %w after %.1f s (%w)", ErrCancelled, elapsed, context.Cause(ctx))
+	}
+	return results, nil
+}

@@ -1,0 +1,73 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBatchSimMatchesSim is the integrator's byte-identity gate: a
+// BatchSim of B devices stepped with per-device inputs must track B
+// independent Sims bit for bit, including per-device ambient moves (which
+// the scalar path models by mutating Sim.P.Ambient mid-run).
+func TestBatchSimMatchesSim(t *testing.T) {
+	for _, p := range []Params{
+		DefaultParams(),
+		{NumCores: 8, CCore: 0.45, CBoard: 7.5, GCoreBoard: 0.075, GCoreCore: 0.28, GBoardAmb: 0.085},
+	} {
+		const B = 5
+		bsim := NewBatchSim(p, B)
+		if bsim.Batch() != B {
+			t.Fatalf("Batch() = %d, want %d", bsim.Batch(), B)
+		}
+		scalars := make([]*Sim, B)
+		rngs := make([]*rand.Rand, B)
+		for d := 0; d < B; d++ {
+			scalars[d] = NewSim(p)
+			rngs[d] = rand.New(rand.NewSource(int64(100 + d)))
+			// Distinct warm starts per device.
+			st := scalars[d].State()
+			for i := range st.Core {
+				st.Core[i] += float64(d) + 0.1*float64(i)
+			}
+			st.Board += 0.5 * float64(d)
+			scalars[d].SetState(st)
+			bsim.SetState(d, st)
+		}
+
+		var got, want State
+		for step := 0; step < 200; step++ {
+			for d := 0; d < B; d++ {
+				rng := rngs[d]
+				if step%17 == d { // occasional per-device ambient move
+					amb := p.Ambient + 10*rng.Float64()
+					scalars[d].P.Ambient = amb
+					bsim.SetAmbient(d, amb)
+					if bsim.Ambient(d) != amb {
+						t.Fatalf("device %d: Ambient() = %v, want %v", d, bsim.Ambient(d), amb)
+					}
+				}
+				in := bsim.CoreInput(d)
+				for i := range in {
+					in[i] = 3 * rng.Float64()
+				}
+				boardPow := 2 * rng.Float64()
+				fan := rng.Float64()
+				dt := 0.1
+				scalars[d].Step(dt, Input{CorePower: in, BoardPower: boardPow, FanSpeed: fan})
+				bsim.Step(d, dt, boardPow, fan)
+
+				scalars[d].StateInto(&want)
+				bsim.StateInto(d, &got)
+				if math.Float64bits(got.Board) != math.Float64bits(want.Board) {
+					t.Fatalf("device %d step %d: board %v vs %v", d, step, got.Board, want.Board)
+				}
+				for i := range want.Core {
+					if math.Float64bits(got.Core[i]) != math.Float64bits(want.Core[i]) {
+						t.Fatalf("device %d step %d: core %d temp %v vs %v", d, step, i, got.Core[i], want.Core[i])
+					}
+				}
+			}
+		}
+	}
+}
