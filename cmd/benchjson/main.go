@@ -42,6 +42,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/cli"
 )
 
 // Entry is one benchmark measurement.
@@ -74,30 +76,33 @@ type File struct {
 }
 
 func main() {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		out        = flag.String("out", "", "write the parsed JSON artifact to this file (default stdout)")
-		record     = flag.String("record", "", "write the artifact to DIR/<utc-timestamp>.json with host provenance")
-		check      = flag.Bool("check", false, "compare two artifacts: benchjson -check baseline.json latest.json")
-		maxRegress = flag.Float64("max-allocs-regress", 0.20, "with -check: maximum tolerated fractional allocs/op growth")
-		minSpeedup = flag.String("min-speedup", "", "gate 'NUM,DEN,RATIO': in the given artifact, benchmark NUM must be at least RATIO times faster than DEN")
-		only       = flag.String("only", "", "comma-separated benchmark-name substrings to keep (empty = all)")
+		out        = fs.String("out", "", "write the parsed JSON artifact to this file (default stdout)")
+		record     = fs.String("record", "", "write the artifact to DIR/<utc-timestamp>.json with host provenance")
+		check      = fs.Bool("check", false, "compare two artifacts: benchjson -check baseline.json latest.json")
+		maxRegress = fs.Float64("max-allocs-regress", 0.20, "with -check: maximum tolerated fractional allocs/op growth")
+		minSpeedup = fs.String("min-speedup", "", "gate 'NUM,DEN,RATIO': in the given artifact, benchmark NUM must be at least RATIO times faster than DEN")
+		only       = fs.String("only", "", "comma-separated benchmark-name substrings to keep (empty = all)")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, os.Args[1:]); err != nil {
+		cli.Exit("benchjson", err, "")
+	}
 
 	if *check {
-		if flag.NArg() != 2 {
+		if fs.NArg() != 2 {
 			fatal(fmt.Errorf("-check needs exactly two files: baseline.json latest.json"))
 		}
-		if err := runCheck(flag.Arg(0), flag.Arg(1), *maxRegress); err != nil {
+		if err := runCheck(fs.Arg(0), fs.Arg(1), *maxRegress); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *minSpeedup != "" {
-		if flag.NArg() != 1 {
+		if fs.NArg() != 1 {
 			fatal(fmt.Errorf("-min-speedup needs exactly one artifact file"))
 		}
-		if err := runSpeedup(flag.Arg(0), *minSpeedup); err != nil {
+		if err := runSpeedup(fs.Arg(0), *minSpeedup); err != nil {
 			fatal(err)
 		}
 		return

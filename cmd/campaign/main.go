@@ -34,27 +34,33 @@ import (
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
 func main() {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	var (
-		policies  = flag.String("policies", "dtpm", "comma-separated policies (with-fan,without-fan,reactive,dtpm)")
-		benches   = flag.String("benches", "", `comma-separated benchmark names, or "all" (default templerun unless -scenarios is set)`)
-		scenarios = flag.String("scenarios", "", `comma-separated scenario names, or "all" (alternative workload axis)`)
-		platforms = flag.String("platforms", "", `comma-separated platform profiles, or "all" (empty = `+platform.DefaultName+`)`)
-		platAlias = flag.String("platform", "", "single platform profile (alias for -platforms)")
-		governors = flag.String("governors", "", "comma-separated cpufreq governors (empty = ondemand)")
-		seeds     = flag.String("seeds", "1", "comma-separated replicate seeds")
-		tmax      = flag.String("tmax", "", "comma-separated thermal constraints in C (empty = paper's 63)")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		baseSeed  = flag.Int64("seed", 1, "campaign base seed (characterization + per-cell derivation)")
-		jsonOut   = flag.String("json", "", "write the full report as JSON to this file")
-		csvOut    = flag.String("csv", "", "write one CSV row per cell to this file")
-		quiet     = flag.Bool("quiet", false, "suppress per-cell progress on stderr")
-		list      = flag.Bool("list", false, "list benchmarks and policies, then exit")
+		policies  = fs.String("policies", "dtpm", "comma-separated policies (with-fan,without-fan,reactive,dtpm)")
+		benches   = fs.String("benches", "", `comma-separated benchmark names, or "all" (default templerun unless -scenarios is set)`)
+		scenarios = fs.String("scenarios", "", `comma-separated scenario names, or "all" (alternative workload axis)`)
+		platforms = fs.String("platforms", "", `comma-separated platform profiles, or "all" (empty = `+platform.DefaultName+`)`)
+		platAlias = fs.String("platform", "", "single platform profile (alias for -platforms)")
+		governors = fs.String("governors", "", "comma-separated cpufreq governors (empty = ondemand)")
+		seeds     = fs.String("seeds", "1", "comma-separated replicate seeds")
+		tmax      = fs.String("tmax", "", "comma-separated thermal constraints in C (empty = paper's 63)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		baseSeed  = fs.Int64("seed", 1, "campaign base seed (characterization + per-cell derivation)")
+		jsonOut   = fs.String("json", "", "write the full report as JSON to this file")
+		csvOut    = fs.String("csv", "", "write one CSV row per cell to this file")
+		quiet     = fs.Bool("quiet", false, "suppress per-cell progress on stderr")
+		list      = fs.Bool("list", false, "list benchmarks and policies, then exit")
+		storeDir  = fs.String("store", store.DefaultDir, "content-addressed result store directory")
+		noCache   = fs.Bool("no-cache", false, "disable the result store (compute every cell)")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, os.Args[1:]); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workload.Names(), ", "))
@@ -93,6 +99,13 @@ func main() {
 		Workers:  *workers,
 		BaseSeed: *baseSeed,
 	}
+	if !*noCache {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		eng.Store = st
+	}
 	// The DTPM policy (and prediction-accuracy accounting) needs the
 	// Chapter 4 characterization of the default device; run it up front —
 	// but only when some cell will actually use that device. A sweep whose
@@ -123,6 +136,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "campaign: running %d cells\n", grid.Size())
 	rep, err := eng.RunContext(ctx, grid)
+	if eng.Store != nil {
+		s := eng.Store.Stats()
+		fmt.Fprintf(os.Stderr, "campaign: store %s: %d hits, %d misses (%.0f%% hit rate)\n",
+			eng.Store.Dir(), s.Hits, s.Misses, 100*s.HitRate())
+	}
 	cancelled := err != nil && cli.Cancelled(err)
 	if err != nil && !cancelled {
 		fatal(err)

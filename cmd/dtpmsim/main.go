@@ -31,18 +31,21 @@ import (
 )
 
 func main() {
+	fs := flag.NewFlagSet("dtpmsim", flag.ContinueOnError)
 	var (
-		bench    = flag.String("bench", "templerun", "benchmark name (see -list)")
-		policy   = flag.String("policy", "dtpm", "fan | nofan | reactive | dtpm | all")
-		seed     = flag.Int64("seed", 1, "sensor-noise / background seed")
-		tmax     = flag.Float64("tmax", 0, "temperature constraint in C (0 = paper default 63)")
-		governor = flag.String("governor", "", "default cpufreq governor (ondemand, interactive, performance, powersave)")
-		csvPath  = flag.String("csv", "", "write full time traces to this CSV file")
-		plat     = flag.String("platform", "", "platform profile (empty = "+platform.DefaultName+"; see -list)")
-		progress = flag.Bool("progress", false, "stream live per-interval telemetry to stderr")
-		list     = flag.Bool("list", false, "list benchmarks and platforms, then exit")
+		bench    = fs.String("bench", "templerun", "benchmark name (see -list)")
+		policy   = fs.String("policy", "dtpm", "fan | nofan | reactive | dtpm | all")
+		seed     = fs.Int64("seed", 1, "sensor-noise / background seed")
+		tmax     = fs.Float64("tmax", 0, "temperature constraint in C (0 = paper default 63)")
+		governor = fs.String("governor", "", "default cpufreq governor (ondemand, interactive, performance, powersave)")
+		csvPath  = fs.String("csv", "", "write full time traces to this CSV file")
+		plat     = fs.String("platform", "", "platform profile (empty = "+platform.DefaultName+"; see -list)")
+		progress = fs.Bool("progress", false, "stream live per-interval telemetry to stderr")
+		list     = fs.Bool("list", false, "list benchmarks and platforms, then exit")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, os.Args[1:]); err != nil {
+		cli.Exit("dtpmsim", err, "")
+	}
 
 	if *list {
 		for _, b := range workload.Table() {

@@ -26,14 +26,17 @@ import (
 )
 
 func main() {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		id      = flag.String("id", "", "experiment id (e.g. fig6.9, tab6.4)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		seed    = flag.Int64("seed", 1, "seed for all stochastic parts")
-		workers = flag.Int("workers", 0, "benchmark-run worker pool size (0 = GOMAXPROCS)")
+		id      = fs.String("id", "", "experiment id (e.g. fig6.9, tab6.4)")
+		all     = fs.Bool("all", false, "run every experiment")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		seed    = fs.Int64("seed", 1, "seed for all stochastic parts")
+		workers = fs.Int("workers", 0, "benchmark-run worker pool size (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, os.Args[1:]); err != nil {
+		cli.Exit("experiments", err, "")
+	}
 
 	if *list {
 		fmt.Print(listText())

@@ -34,6 +34,8 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/platform"
 	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -79,7 +81,11 @@ population flags (ignored when -spec is given):
   -ambient-jitter C        uniform per-device ambient shift in [-C, +C]
   -freeze-workload         all devices share one workload realization
   -tmax C  -period S       thermal constraint / control period overrides
-run flags: -workers N  -seed N  -quiet  -json FILE  -csv FILE`)
+run flags: -workers N  -seed N  -quiet  -json FILE  -csv FILE
+store flags (run, replay-cell):
+  -store DIR               content-addressed result store (default .repro-store);
+                           identical cells are served from it instead of re-simulated
+  -no-cache                disable the store for this invocation`)
 }
 
 // specFlags declares the population flags shared by run and replay-cell
@@ -194,9 +200,31 @@ func parseMix(s string, all []string) ([]fleet.Weight, error) {
 	return out, nil
 }
 
+// storeFlags declares the result-store flags shared by run and replay-cell
+// and opens (or disables) the store they select.
+type storeFlags struct {
+	dir     *string
+	noCache *bool
+}
+
+func newStoreFlags(fs *flag.FlagSet) *storeFlags {
+	return &storeFlags{
+		dir:     fs.String("store", store.DefaultDir, "content-addressed result store directory"),
+		noCache: fs.Bool("no-cache", false, "disable the result store (compute every cell)"),
+	}
+}
+
+func (sf *storeFlags) open() (*store.Store, error) {
+	if *sf.noCache {
+		return nil, nil
+	}
+	return store.Open(*sf.dir)
+}
+
 func cmdRun(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("fleet run", flag.ExitOnError)
+	fs := flag.NewFlagSet("fleet run", flag.ContinueOnError)
 	sf := newSpecFlags(fs)
+	stf := newStoreFlags(fs)
 	var (
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		baseSeed = fs.Int64("seed", 1, "fleet base seed (population draw + every derived stream)")
@@ -204,25 +232,37 @@ func cmdRun(ctx context.Context, args []string) error {
 		csvOut   = fs.String("csv", "", "write one CSV row per group to this file")
 		quiet    = fs.Bool("quiet", false, "suppress per-device progress on stderr")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 	spec, err := sf.spec()
 	if err != nil {
 		return err
 	}
-	eng := &fleet.Engine{Workers: *workers, BaseSeed: *baseSeed}
+	st, err := stf.open()
+	if err != nil {
+		return err
+	}
+	eng := &fleet.Engine{Workers: *workers, BaseSeed: *baseSeed, Store: st}
 	if !*quiet {
 		eng.OnCellDone = func(p fleet.Progress) {
 			status := "ok"
-			if p.Err != "" {
+			switch {
+			case p.Err != "":
 				status = "FAILED: " + p.Err
+			case p.Cached:
+				status = "cached"
 			}
 			fmt.Fprintf(os.Stderr, "fleet: [%d/%d] %s %s\n", p.Done, p.Total, p.Cell, status)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fleet: simulating %d devices\n", spec.N)
 	rep, err := eng.Run(ctx, spec)
+	if st != nil {
+		s := st.Stats()
+		fmt.Fprintf(os.Stderr, "fleet: store %s: %d hits, %d misses (%.0f%% hit rate)\n",
+			st.Dir(), s.Hits, s.Misses, 100*s.HitRate())
+	}
 	cancelled := err != nil && cli.Cancelled(err)
 	if err != nil && !cancelled {
 		return err
@@ -254,9 +294,9 @@ func cmdRun(ctx context.Context, args []string) error {
 }
 
 func cmdReport(args []string) error {
-	fs := flag.NewFlagSet("fleet report", flag.ExitOnError)
+	fs := flag.NewFlagSet("fleet report", flag.ContinueOnError)
 	in := fs.String("in", "", "saved JSON report to render")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
@@ -276,14 +316,15 @@ func cmdReport(args []string) error {
 }
 
 func cmdReplayCell(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("fleet replay-cell", flag.ExitOnError)
+	fs := flag.NewFlagSet("fleet replay-cell", flag.ContinueOnError)
 	sf := newSpecFlags(fs)
+	stf := newStoreFlags(fs)
 	var (
 		index    = fs.Int("i", -1, "device index to replay")
 		baseSeed = fs.Int64("seed", 1, "fleet base seed (must match the run)")
 		out      = fs.String("o", "", "write the device's full trace CSV here (default stdout)")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 	spec, err := sf.spec()
@@ -293,23 +334,34 @@ func cmdReplayCell(ctx context.Context, args []string) error {
 	if *index < 0 {
 		return fmt.Errorf("fleet replay-cell: need -i INDEX (0..%d)", spec.N-1)
 	}
-	eng := &fleet.Engine{Workers: 1, BaseSeed: *baseSeed}
+	st, err := stf.open()
+	if err != nil {
+		return err
+	}
+	eng := &fleet.Engine{Workers: 1, BaseSeed: *baseSeed, Store: st}
 	res, cfg, err := eng.ReplayCell(ctx, spec, *index)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fleet: device %s: exec=%.1fs energy=%.0fJ maxT=%.1fC board=%.1fC\n",
-		cfg, res.ExecTime, res.Energy, res.MaxTemp, res.Rec.Series("board").Vals[len(res.Rec.Series("board").Vals)-1])
-	w := io.Writer(os.Stdout)
+	fmt.Fprintln(os.Stderr, replaySummary(cfg, res))
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+		return writeFile(*out, res.Rec.WriteCSV)
 	}
-	return res.Rec.WriteCSV(w)
+	return res.Rec.WriteCSV(os.Stdout)
+}
+
+// replaySummary renders the one-line device summary. The trailing board
+// temperature degrades to n/a when the trace has no board series (or no
+// samples) — a trace shape must never panic the CLI.
+func replaySummary(cfg fleet.CellConfig, res *sim.Result) string {
+	board := "n/a"
+	if res.Rec != nil {
+		if s := res.Rec.Series("board"); s != nil && len(s.Vals) > 0 {
+			board = fmt.Sprintf("%.1fC", s.Vals[len(s.Vals)-1])
+		}
+	}
+	return fmt.Sprintf("fleet: device %s: exec=%.1fs energy=%.0fJ maxT=%.1fC board=%s",
+		cfg, res.ExecTime, res.Energy, res.MaxTemp, board)
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/platform"
 	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func TestParseMix(t *testing.T) {
@@ -39,6 +43,38 @@ func TestBuildSpec(t *testing.T) {
 	}
 	if len(spec.Platforms) != len(platform.Names()) || len(spec.Scenarios) != 2 {
 		t.Fatalf("spec mixes: %+v", spec)
+	}
+}
+
+// TestReplaySummary pins the guard that used to be a nil-panic: traces
+// without a board series (or with no samples, or no recorder at all)
+// degrade the summary's board field to n/a instead of crashing.
+func TestReplaySummary(t *testing.T) {
+	cfg := fleet.CellConfig{Index: 0, Platform: "exynos5410", Scenario: "cold-start"}
+	withBoard := trace.NewRecorder()
+	withBoard.Record("board", 0, 41.25)
+	emptyBoard := trace.NewRecorder()
+	emptyBoard.Record("board", 0, 1)
+	emptyBoard.Series("board").Times = nil
+	emptyBoard.Series("board").Vals = nil
+	noBoard := trace.NewRecorder()
+	noBoard.Record("cpu", 0, 50)
+	cases := []struct {
+		name string
+		rec  *trace.Recorder
+		want string
+	}{
+		{"board series", withBoard, "board=41.2C"},
+		{"empty board series", emptyBoard, "board=n/a"},
+		{"no board series", noBoard, "board=n/a"},
+		{"nil recorder", nil, "board=n/a"},
+	}
+	for _, c := range cases {
+		res := &sim.Result{ExecTime: 12.5, Energy: 300, MaxTemp: 61.5, Rec: c.rec}
+		got := replaySummary(cfg, res)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("%s: summary %q, want it to contain %q", c.name, got, c.want)
+		}
 	}
 }
 

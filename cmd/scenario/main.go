@@ -208,13 +208,13 @@ func runScripted(ctx context.Context, rf *runFlags, runner *sim.Runner, opt sim.
 }
 
 func cmdRun(ctx context.Context, args []string, record bool) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	name := fs.String("s", "", "library scenario name (see `scenario list`)")
 	specFile := fs.String("spec", "", "JSON scenario spec file (alternative to -s)")
 	out := fs.String("o", "", "write the recorded trace CSV to this file")
 	chart := fs.Bool("chart", false, "print ASCII charts of the main series")
 	rf := addRunFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 	spec, err := loadSpec(*name, *specFile)
@@ -265,12 +265,12 @@ func cmdRun(ctx context.Context, args []string, record bool) error {
 }
 
 func cmdReplay(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	tracePath := fs.String("trace", "", "recorded trace CSV to replay (required)")
 	out := fs.String("o", "", "write the fresh run's trace CSV to this file")
 	tol := fs.Float64("tol", 0, "value tolerance for the diff (0 = exact)")
 	rf := addRunFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 	if *tracePath == "" {
@@ -322,11 +322,11 @@ func cmdReplay(ctx context.Context, args []string) error {
 }
 
 func cmdDiff(args []string) error {
-	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 	a := fs.String("a", "", "first trace CSV")
 	b := fs.String("b", "", "second trace CSV")
 	tol := fs.Float64("tol", 0, "value tolerance (0 = exact)")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
 	if *a == "" || *b == "" {

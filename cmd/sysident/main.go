@@ -31,11 +31,14 @@ import (
 )
 
 func main() {
+	fs := flag.NewFlagSet("sysident", flag.ContinueOnError)
 	var (
-		seed    = flag.Int64("seed", 1, "sensor-noise seed")
-		horizon = flag.Int("horizon", 10, "validation horizon in 100 ms intervals")
+		seed    = fs.Int64("seed", 1, "sensor-noise seed")
+		horizon = fs.Int("horizon", 10, "validation horizon in 100 ms intervals")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, os.Args[1:]); err != nil {
+		cli.Exit("sysident", err, "")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/fleet"
+	"repro/internal/store"
 )
 
 // FleetSpec declares a virtual-device population: the platform and
@@ -57,6 +58,8 @@ type FleetOption func(*fleetConfig)
 
 type fleetConfig struct {
 	batchSize int
+	storeDir  string
+	useStore  bool
 }
 
 // WithBatchSize caps how many same-(platform, scenario) devices the fleet
@@ -68,7 +71,21 @@ func WithBatchSize(n int) FleetOption {
 	return func(c *fleetConfig) { c.batchSize = n }
 }
 
-func (d *Device) fleetEngine(models *Models, workers int, baseSeed int64, opts ...FleetOption) *fleet.Engine {
+// WithStore attaches a content-addressed result store rooted at dir ("" =
+// the conventional .repro-store): every device's outcome is persisted under
+// a digest of its fully normalized configuration, and any later run of an
+// identical device — same platform, scenario content, seeds, policy,
+// constraint, characterization provenance — is served from the store
+// instead of re-simulated. Cached results are byte-identical to computed
+// ones (the determinism contract makes verification exact equality), so
+// reports never change; only wall-clock time does. A warm re-run of an
+// identical fleet hits the store for every cell, and editing one scenario
+// in a mix recomputes only the affected devices.
+func WithStore(dir string) FleetOption {
+	return func(c *fleetConfig) { c.storeDir, c.useStore = dir, true }
+}
+
+func (d *Device) fleetEngine(models *Models, workers int, baseSeed int64, opts ...FleetOption) (*fleet.Engine, error) {
 	var cfg fleetConfig
 	for _, o := range opts {
 		o(&cfg)
@@ -77,7 +94,14 @@ func (d *Device) fleetEngine(models *Models, workers int, baseSeed int64, opts .
 	if models != nil {
 		eng.Models = models.c
 	}
-	return eng
+	if cfg.useStore {
+		st, err := store.Open(cfg.storeDir)
+		if err != nil {
+			return nil, err
+		}
+		eng.Store = st
+	}
+	return eng, nil
 }
 
 // RunFleet simulates the whole population across a worker pool (workers
@@ -88,7 +112,11 @@ func (d *Device) fleetEngine(models *Models, workers int, baseSeed int64, opts .
 // report, never aborting the fleet; on cancellation the partial report
 // comes back with an error wrapping ErrCancelled.
 func (d *Device) RunFleet(ctx context.Context, spec FleetSpec, models *Models, workers int, baseSeed int64, opts ...FleetOption) (*FleetReport, error) {
-	return d.fleetEngine(models, workers, baseSeed, opts...).Run(ctx, spec)
+	eng, err := d.fleetEngine(models, workers, baseSeed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(ctx, spec)
 }
 
 // StreamFleet runs the population like RunFleet while yielding one
@@ -106,15 +134,18 @@ func (d *Device) StreamFleet(ctx context.Context, spec FleetSpec, models *Models
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	eng, err := d.fleetEngine(models, workers, baseSeed, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
 	ictx, cancel := context.WithCancel(ctx)
-	eng := d.fleetEngine(models, workers, baseSeed, opts...)
 	var (
 		ch       = make(chan FleetProgress)
 		nostream = make(chan struct{})
 		done     = make(chan struct{})
 		stopOnce sync.Once
 		rep      *FleetReport
-		err      error
+		runErr   error
 	)
 	detach := func() { stopOnce.Do(func() { close(nostream) }) }
 	eng.OnCellDone = func(p fleet.Progress) {
@@ -124,7 +155,7 @@ func (d *Device) StreamFleet(ctx context.Context, spec FleetSpec, models *Models
 		}
 	}
 	go func() {
-		rep, err = eng.Run(ictx, spec)
+		rep, runErr = eng.Run(ictx, spec)
 		cancel()
 		close(ch)
 		close(done)
@@ -143,7 +174,7 @@ func (d *Device) StreamFleet(ctx context.Context, spec FleetSpec, models *Models
 	result := func() (*FleetReport, error) {
 		detach()
 		<-done
-		return rep, err
+		return rep, runErr
 	}
 	return seq, result, nil
 }
@@ -153,8 +184,12 @@ func (d *Device) StreamFleet(ctx context.Context, spec FleetSpec, models *Models
 // device has inside RunFleet, so the returned trace is sample-for-sample
 // what the fleet's aggregator observed. The standalone proof behind every
 // aggregate number.
-func (d *Device) ReplayFleetCell(ctx context.Context, spec FleetSpec, models *Models, baseSeed int64, index int) (*Result, FleetCellConfig, error) {
-	res, cfg, err := d.fleetEngine(models, 1, baseSeed).ReplayCell(ctx, spec, index)
+func (d *Device) ReplayFleetCell(ctx context.Context, spec FleetSpec, models *Models, baseSeed int64, index int, opts ...FleetOption) (*Result, FleetCellConfig, error) {
+	eng, err := d.fleetEngine(models, 1, baseSeed, opts...)
+	if err != nil {
+		return nil, FleetCellConfig{}, err
+	}
+	res, cfg, err := eng.ReplayCell(ctx, spec, index)
 	if err != nil {
 		return nil, cfg, err
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -305,10 +306,21 @@ type Engine struct {
 	// each cell of a Run completes, with the number done so far and the
 	// grid size.
 	OnCellDone func(done, total int, r CellResult)
+	// Store, when set, makes cell execution lookup-or-compute: each cell's
+	// normalized coordinates are hashed to a content address, computed
+	// metrics are persisted under it, and later runs of an identical cell
+	// are served from the store instead of simulated. Purely a wall-clock
+	// optimization — cached metrics are byte-identical to computed ones.
+	Store *store.Store
 
 	mu    sync.Mutex // guards done/total for OnCellDone
 	done  int
 	total int
+
+	// storeTag caches the anchor platform's characterization-provenance
+	// tag for store keys (computed on first use; see storeModelsTag).
+	storeTag     string
+	storeTagOnce sync.Once
 
 	// Per-platform device cache for the Platforms sweep axis: each
 	// non-default platform gets one runner and one characterization
@@ -570,7 +582,97 @@ func (e *Engine) ForEach(n int, fn func(i int)) {
 
 // runCell executes one cell, translating every failure mode into a
 // collected CellResult.
+// campaignCellKey is the canonical content of one campaign cell: the
+// normalized coordinates, the derived simulation seed, the full scenario
+// spec when the cell runs one (so editing a library scenario invalidates
+// its cells), and the characterization provenance.
+type campaignCellKey struct {
+	Policy       string         `json:"policy"`
+	Benchmark    string         `json:"benchmark"`
+	Scenario     string         `json:"scenario"`
+	ScenarioSpec *scenario.Spec `json:"scenario_spec,omitempty"`
+	Platform     string         `json:"platform"`
+	Governor     string         `json:"governor"`
+	TMax         float64        `json:"tmax"`
+	DerivedSeed  int64          `json:"derived_seed"`
+	Models       string         `json:"models"`
+}
+
+// storeModelsTag names the characterization provenance of a platform's
+// cells. Non-default platforms are characterized by the engine at BaseSeed
+// (a pure function of platform + seed, so the seed tags them); the anchor
+// platform's tag distinguishes injected models (content-addressed) from
+// running model-free.
+func (e *Engine) storeModelsTag(platformName string) string {
+	if platformName != runnerPlatform(e.Runner) {
+		return fmt.Sprintf("charseed:%d", e.BaseSeed)
+	}
+	e.storeTagOnce.Do(func() {
+		if e.Models == nil {
+			e.storeTag = "nomodels"
+			return
+		}
+		d, err := store.KeyDigest("models", e.Models)
+		if err != nil {
+			e.storeTag = "models:unhashable"
+			return
+		}
+		e.storeTag = "models:" + d.String()
+	})
+	return e.storeTag
+}
+
+// cellStoreKey resolves the cell's platform without characterizing it and
+// computes the cell's content address. ok=false means the cell cannot be
+// addressed (unknown platform or scenario, contradictory workload axes) —
+// those cells just run the compute path, which produces the proper error.
+func (e *Engine) cellStoreKey(c Cell) (store.Digest, Cell, bool) {
+	if c.Platform == "" || c.Platform == runnerPlatform(e.Runner) {
+		c.Platform = runnerPlatform(e.Runner)
+	} else if _, err := platform.ByName(c.Platform); err != nil {
+		return store.Digest{}, c, false
+	}
+	if c.Scenario != "" && c.Benchmark != "" {
+		return store.Digest{}, c, false
+	}
+	nc := normalizedCell(c)
+	key := campaignCellKey{
+		Policy:      nc.Policy.String(),
+		Benchmark:   nc.Benchmark,
+		Scenario:    nc.Scenario,
+		Platform:    nc.Platform,
+		Governor:    nc.Governor,
+		TMax:        nc.TMax,
+		DerivedSeed: DeriveSeed(e.BaseSeed, c),
+		Models:      e.storeModelsTag(c.Platform),
+	}
+	if c.Scenario != "" {
+		spec, err := scenario.ByName(c.Scenario)
+		if err != nil {
+			return store.Digest{}, c, false
+		}
+		key.ScenarioSpec = &spec
+	}
+	d, err := store.KeyDigest("campaign-cell", key)
+	if err != nil {
+		return store.Digest{}, c, false
+	}
+	return d, c, true
+}
+
 func (e *Engine) runCell(ctx context.Context, c Cell) CellResult {
+	// Lookup-or-compute: a stored cell is served without touching the
+	// device cache, so a fully warm campaign re-run never characterizes.
+	if e.Store != nil {
+		if key, rc, ok := e.cellStoreKey(c); ok {
+			var m Metrics
+			if e.Store.GetJSON(key, &m) {
+				done := CellResult{Cell: rc, Metrics: &m}
+				e.notify(done)
+				return done
+			}
+		}
+	}
 	runner, models, err := e.DeviceFor(ctx, c.Platform)
 	if err != nil {
 		return CellResult{Cell: c, Err: err.Error()}
@@ -621,6 +723,14 @@ func (e *Engine) runCell(ctx context.Context, c Cell) CellResult {
 		done.Err = err.Error()
 	} else {
 		done.Metrics = newMetrics(res)
+		// Persist before notify so an observer that inspects the store
+		// sees the entry of every reported cell. Write failures are
+		// non-fatal: the run has the result, the next run recomputes.
+		if e.Store != nil {
+			if key, _, ok := e.cellStoreKey(c); ok {
+				_ = e.Store.PutJSON(key, done.Metrics)
+			}
+		}
 	}
 	e.notify(done)
 	return done

@@ -6,6 +6,7 @@ package cli
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -16,12 +17,40 @@ import (
 	"repro/internal/workload"
 )
 
+// ErrUsage marks a command-line usage error — a flag that failed to parse,
+// a missing operand, contradictory options. Exit maps anything wrapping it
+// to exit code 2, the same class as an unknown registry name.
+var ErrUsage = errors.New("usage error")
+
+// ParseFlags parses args through a ContinueOnError FlagSet and normalizes
+// the outcome to the sentinel conventions: -h/-help exits 0 after the
+// FlagSet has printed its usage, and any parse failure comes back wrapping
+// ErrUsage so the caller's single Exit call lands on code 2. The FlagSet
+// must have been constructed with flag.ContinueOnError — with ExitOnError
+// the error path is dead code, which is exactly the bug class this helper
+// removes.
+func ParseFlags(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	// The FlagSet already printed the specific complaint and its usage.
+	return fmt.Errorf("%w: %v", ErrUsage, err)
+}
+
 // Exit prints the error prefixed with the tool name and terminates with
-// the conventional code: unknown benchmark/scenario/platform names are
-// usage errors (exit 2, after printing listHint when non-empty),
-// cancellation exits 130 like any interrupted process, and everything
-// else is a runtime failure (exit 1).
+// the conventional code: usage errors (ErrUsage, unknown
+// benchmark/scenario/platform names) exit 2 — after printing listHint when
+// non-empty for the unknown-name case — cancellation exits 130 like any
+// interrupted process, and everything else is a runtime failure (exit 1).
 func Exit(tool string, err error, listHint string) {
+	if errors.Is(err, ErrUsage) {
+		// The flag package already printed the complaint and usage.
+		os.Exit(2)
+	}
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
 	switch {
 	case errors.Is(err, workload.ErrUnknown) ||

@@ -56,13 +56,43 @@ func (e *Engine) batchUnits(spec Spec) [][]int {
 	return units
 }
 
-// runBatchUnit executes one work unit. Multi-cell units try the lock-step
-// batch kernel first; on any refusal — incompatible options, a mid-run
-// error, a panic — the unit falls back to per-cell scalar runs, which are
-// always correct and reproduce any per-cell failure in the cell it belongs
-// to. The outcomes are returned in unit order (outs[j] belongs to
+// runBatchUnit executes one work unit. With a store attached the unit is
+// first split into hits and misses: hits are served as-is and only the
+// misses are computed (batched when more than one remains) — then persisted
+// before the collector frees their aggregators. Multi-cell compute tries
+// the lock-step batch kernel first; on any refusal — incompatible options,
+// a mid-run error, a panic — it falls back to per-cell scalar runs, which
+// are always correct and reproduce any per-cell failure in the cell it
+// belongs to. The outcomes are returned in unit order (outs[j] belongs to
 // indices[j]).
 func (e *Engine) runBatchUnit(ctx context.Context, spec Spec, pol sim.Policy, indices []int) []cellOutcome {
+	if e.Store == nil {
+		return e.computeUnit(ctx, spec, pol, indices)
+	}
+	outs := make([]cellOutcome, len(indices))
+	var missIdx, missPos []int
+	for j, i := range indices {
+		if out, ok := e.lookupCell(spec, i); ok {
+			outs[j] = out
+		} else {
+			missIdx = append(missIdx, i)
+			missPos = append(missPos, j)
+		}
+	}
+	if len(missIdx) > 0 {
+		computed := e.computeUnit(ctx, spec, pol, missIdx)
+		for k, j := range missPos {
+			e.putCell(spec, computed[k])
+			outs[j] = computed[k]
+		}
+	}
+	return outs
+}
+
+// computeUnit runs one (sub-)unit of cells for real: the batch kernel when
+// the unit has more than one cell, the scalar path otherwise or on any
+// batch refusal.
+func (e *Engine) computeUnit(ctx context.Context, spec Spec, pol sim.Policy, indices []int) []cellOutcome {
 	if len(indices) > 1 {
 		if outs, ok := e.tryRunBatch(ctx, spec, pol, indices); ok {
 			return outs
@@ -97,7 +127,7 @@ func (e *Engine) tryRunBatch(ctx context.Context, spec Spec, pol sim.Policy, ind
 	for j, i := range indices {
 		cfgs[j] = DeriveCell(spec, e.BaseSeed, i)
 		if j == 0 {
-			runner, models, err = e.pool.DeviceFor(ctx, cfgs[j].Platform)
+			runner, models, err = e.deviceFor(ctx, cfgs[j].Platform)
 			if err != nil {
 				return nil, false
 			}

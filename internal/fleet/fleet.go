@@ -10,6 +10,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Progress is one live per-device event: emitted serially (never
@@ -24,6 +25,11 @@ type Progress struct {
 	Metrics *CellMetrics
 	// Err is the collected failure ("" on success).
 	Err string
+	// Cached reports that the cell was served from the result store
+	// instead of being simulated. Cached cells are byte-identical to
+	// computed ones, so this is telemetry only — it never appears in the
+	// report.
+	Cached bool
 }
 
 // Engine runs device populations over the campaign worker pool.
@@ -48,9 +54,27 @@ type Engine struct {
 	// scalar only). Batched cells are byte-identical to scalar runs, so
 	// the knob trades throughput against per-unit latency, never results.
 	BatchSize int
+	// Store, when set, makes cell execution lookup-or-compute: each
+	// cell's normalized configuration is hashed to a content address,
+	// computed results are persisted under it, and later runs of an
+	// identical cell are served from the store instead of simulated.
+	// Determinism is byte-exact, so a warm run's report is byte-identical
+	// to a cold one — the store changes wall-clock time, never results.
+	Store *store.Store
 
 	mu   sync.Mutex // guards pool construction
 	pool *campaign.Engine
+
+	// modelsTag is the characterization provenance mixed into every
+	// anchor-platform cell key (lazily computed; see anchorTag).
+	// modelsInjected is pinned at the first init, before lazy
+	// self-characterization can set Models.
+	modelsTag        string
+	modelsInjected   bool
+	provenancePinned bool
+	// charMu serializes the lazy anchor characterization and the
+	// provenance fields above.
+	charMu sync.Mutex
 }
 
 // cellOutcome is what one cell leaves behind for assembly.
@@ -59,6 +83,7 @@ type cellOutcome struct {
 	agg     *cellAgg
 	metrics *CellMetrics
 	err     string
+	cached  bool
 }
 
 // runnerPlatform names the platform a runner simulates.
@@ -69,30 +94,16 @@ func runnerPlatform(r *sim.Runner) string {
 	return platform.DefaultName
 }
 
-// init prepares the shared pool and, when the population includes the
-// anchor device's own platform, its characterization — once per engine, so
-// repeated Run calls (and RunCell probes) reuse both. A failed init (e.g.
-// a cancelled characterization) caches nothing, so a later call with a
-// live context retries instead of inheriting the failure.
-func (e *Engine) init(ctx context.Context, spec Spec) error {
+// init prepares the shared pool and pins the characterization provenance
+// tag — once per engine, so repeated Run calls (and RunCell probes) reuse
+// both. The anchor device's own characterization is deliberately NOT done
+// here: it is lazy (see deviceFor), so a fully warm store-served run never
+// pays for it.
+func (e *Engine) init() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.Runner == nil {
 		e.Runner = sim.NewRunner()
-	}
-	own := runnerPlatform(e.Runner)
-	needOwn := false
-	for _, w := range spec.Platforms {
-		if w.Weight > 0 && w.Name == own {
-			needOwn = true
-		}
-	}
-	if needOwn && e.Models == nil {
-		models, err := e.Runner.Characterize(ctx, e.BaseSeed)
-		if err != nil {
-			return err
-		}
-		e.Models = models
 	}
 	if e.pool == nil {
 		e.pool = &campaign.Engine{
@@ -101,9 +112,66 @@ func (e *Engine) init(ctx context.Context, spec Spec) error {
 			BaseSeed: e.BaseSeed,
 		}
 	}
-	// A later spec may be the first to need the anchor platform's models.
+	e.charMu.Lock()
+	defer e.charMu.Unlock()
+	if !e.provenancePinned {
+		// Pin the provenance now, before any lazy self-characterization can
+		// set e.Models: the tag itself (a digest of injected models, which
+		// costs a full marshal) is computed lazily in anchorTag, only when
+		// the store actually addresses a cell.
+		e.modelsInjected = e.Models != nil
+		e.provenancePinned = true
+	}
+	// A lazily characterized anchor stays out of the pool (deviceFor wraps
+	// it); injected models are served to the pool as before.
 	e.pool.Models = e.Models
-	return nil
+}
+
+// anchorTag names the anchor platform's characterization provenance,
+// computed once on first use: a content digest for injected models,
+// otherwise the characterization seed — self-characterization is a pure
+// function of (platform, BaseSeed), so the key of a warm cell is
+// computable models-free.
+func (e *Engine) anchorTag() string {
+	e.charMu.Lock()
+	defer e.charMu.Unlock()
+	if e.modelsTag == "" {
+		if e.modelsInjected {
+			e.modelsTag = modelsDigestTag(e.Models)
+		} else {
+			e.modelsTag = fmt.Sprintf("charseed:%d", e.BaseSeed)
+		}
+	}
+	return e.modelsTag
+}
+
+// deviceFor resolves a cell's runner and models like the pool does, but
+// with the anchor device's characterization deferred to first need: a cell
+// that the store serves never reaches this point, so a fully warm run skips
+// characterization entirely.
+func (e *Engine) deviceFor(ctx context.Context, name string) (*sim.Runner, *sim.Characterization, error) {
+	runner, models, err := e.pool.DeviceFor(ctx, name)
+	if err != nil || models != nil || runner != e.Runner {
+		return runner, models, err
+	}
+	models, err = e.anchorModels(ctx)
+	return runner, models, err
+}
+
+// anchorModels characterizes the anchor device once, lazily. A failed
+// characterization (e.g. a cancelled context) caches nothing, so a later
+// call with a live context retries instead of inheriting the failure.
+func (e *Engine) anchorModels(ctx context.Context) (*sim.Characterization, error) {
+	e.charMu.Lock()
+	defer e.charMu.Unlock()
+	if e.Models == nil {
+		models, err := e.Runner.Characterize(ctx, e.BaseSeed)
+		if err != nil {
+			return nil, err
+		}
+		e.Models = models
+	}
+	return e.Models, nil
 }
 
 // Run simulates the whole population and returns the aggregate report.
@@ -116,9 +184,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 		return nil, err
 	}
 	spec = spec.normalized()
-	if err := e.init(ctx, spec); err != nil {
-		return nil, err
-	}
+	e.init()
 	pol, err := sim.ParsePolicy(spec.Policy)
 	if err != nil {
 		return nil, err
@@ -139,7 +205,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 			if e.OnCellDone != nil {
 				mu.Lock()
 				done++
-				e.OnCellDone(Progress{Done: done, Total: spec.N, Cell: out.cfg, Metrics: out.metrics, Err: out.err})
+				e.OnCellDone(Progress{Done: done, Total: spec.N, Cell: out.cfg, Metrics: out.metrics, Err: out.err, Cached: out.cached})
 				mu.Unlock()
 			}
 		}
@@ -161,7 +227,7 @@ func (e *Engine) runCell(ctx context.Context, spec Spec, pol sim.Policy, index i
 		out.err = "fleet: cancelled before start"
 		return out
 	}
-	runner, models, err := e.pool.DeviceFor(ctx, cfg.Platform)
+	runner, models, err := e.deviceFor(ctx, cfg.Platform)
 	if err != nil {
 		out.err = err.Error()
 		return out
@@ -249,16 +315,31 @@ func (e *Engine) cell(ctx context.Context, spec Spec, index int, record bool) (c
 	if index < 0 || index >= spec.N {
 		return cellOutcome{}, fmt.Errorf("fleet: cell index %d out of range [0, %d)", index, spec.N)
 	}
-	if err := e.init(ctx, spec); err != nil {
-		return cellOutcome{}, err
-	}
+	e.init()
 	pol, err := sim.ParsePolicy(spec.Policy)
 	if err != nil {
 		return cellOutcome{}, err
 	}
+	if e.Store != nil {
+		if record {
+			cfg := DeriveCell(spec, e.BaseSeed, index)
+			if out, ok := e.lookupTrace(spec, cfg); ok {
+				return out, nil
+			}
+		} else if out, ok := e.lookupCell(spec, index); ok {
+			return out, nil
+		}
+	}
 	out := e.runCell(ctx, spec, pol, index, record)
 	if out.err != "" {
 		return out, fmt.Errorf("fleet: cell %d: %s", index, out.err)
+	}
+	if e.Store != nil {
+		if record {
+			e.putTrace(spec, out)
+		} else {
+			e.putCell(spec, out)
+		}
 	}
 	return out, nil
 }

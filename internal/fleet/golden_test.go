@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/platform"
+	"repro/internal/store"
 )
 
 // update regenerates the golden fleet reports instead of comparing:
@@ -53,12 +54,24 @@ func TestGoldenFleetReport(t *testing.T) {
 	spec := goldenSpec()
 	jsonFile := filepath.Join("testdata", "golden-fleet.json")
 	csvFile := filepath.Join("testdata", "golden-fleet.csv")
+	// One store across the worker sweep: the workers=1 run computes cold
+	// (and is what -update regeneration rides), the 4- and 8-worker runs
+	// must then be served warm — which pins that store-served cells
+	// assemble the same bytes the golden files hold.
+	st, err := store.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, workers := range []int{1, 4, 8} {
 		t.Run(fleetWorkersName(workers), func(t *testing.T) {
-			eng := &Engine{Workers: workers, BaseSeed: 7}
+			before := st.Stats()
+			eng := &Engine{Workers: workers, BaseSeed: 7, Store: st}
 			rep, err := eng.Run(context.Background(), spec)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if after := st.Stats(); workers > 1 && after.Misses != before.Misses {
+				t.Errorf("warm re-run missed the store %d times", after.Misses-before.Misses)
 			}
 			if len(rep.Failures) > 0 {
 				t.Fatalf("golden fleet cells failed: %+v", rep.Failures)

@@ -4,7 +4,35 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
+
+// registered holds runtime-registered scenarios, overlaying the built-in
+// library by name.
+var (
+	regMu      sync.RWMutex
+	registered map[string]Spec
+)
+
+// Register adds or replaces a named scenario in the process-wide library:
+// the hook through which a custom spec (a -spec file, a service-registered
+// scenario) participates in everything that resolves scenarios by name —
+// fleet mixes, campaign axes, and the result store's content addressing.
+// ByName returns the registered content, so re-registering a changed spec
+// under the same name changes the store keys of exactly that scenario's
+// cells. The spec must validate.
+func Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if registered == nil {
+		registered = map[string]Spec{}
+	}
+	registered[s.Name] = s
+	return nil
+}
 
 // Library returns the named scenarios shipped with the repo, in a stable
 // order. They cover the situations the paper's evaluation motivates but a
@@ -104,8 +132,15 @@ func Library() []Spec {
 // errors.Is instead of string matching.
 var ErrUnknown = errors.New("unknown scenario")
 
-// ByName returns the named library scenario.
+// ByName returns the named scenario: a runtime-registered one first, then
+// the built-in library.
 func ByName(name string) (Spec, error) {
+	regMu.RLock()
+	s, ok := registered[name]
+	regMu.RUnlock()
+	if ok {
+		return s, nil
+	}
 	for _, s := range Library() {
 		if s.Name == name {
 			return s, nil
@@ -114,13 +149,25 @@ func ByName(name string) (Spec, error) {
 	return Spec{}, fmt.Errorf("scenario: %w %q (known: %v)", ErrUnknown, name, Names())
 }
 
-// Names returns the library scenario names, sorted.
+// Names returns the known scenario names (built-in plus registered),
+// sorted.
 func Names() []string {
-	lib := Library()
-	out := make([]string, len(lib))
-	for i, s := range lib {
-		out[i] = s.Name
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range Library() {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s.Name)
+		}
 	}
+	regMu.RLock()
+	for name := range registered {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	regMu.RUnlock()
 	sort.Strings(out)
 	return out
 }

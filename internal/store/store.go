@@ -1,0 +1,302 @@
+// Package store is the content-addressed result store behind incremental
+// re-runs: characterization and cell results are pure functions of their
+// normalized configuration (the byte-exact determinism contract of the
+// simulation stack), so a cell's output can be persisted once and served
+// forever — a warm re-run of an identical fleet hits the store for every
+// cell, identical cells across runs dedupe to one computation, and editing
+// one scenario in a mix recomputes only the affected cells.
+//
+// The design follows kopia's content-addressed layout in miniature: a
+// cell's canonical spec bytes (see KeyBytes) are hashed to a SHA-256
+// digest, and the digest addresses an immutable entry file under the store
+// root. The store is append-only in the content-addressed sense — entries
+// are only ever added, never mutated in place (writes go through a
+// temp-file + rename, so a crash can never leave a torn entry under its
+// final name), and a re-Put of an existing digest rewrites bit-identical
+// bytes.
+//
+// Every entry self-verifies: a header line records the engine version,
+// the key digest, and the SHA-256 of the payload, and Get re-hashes the
+// payload before serving it. A truncated entry, a bit-flipped payload, or
+// an entry written by a different engine version all fail verification and
+// are reported as a miss — the caller recomputes and the fresh Put heals
+// the entry. The store never serves bytes it cannot prove correct.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// EngineVersion names the simulation-engine generation whose outputs the
+// store holds. It participates in every key AND is checked in every entry
+// header: bump it whenever any change alters the byte output of a cell
+// (simulation numerics, aggregation, serialization formats), and every
+// existing entry becomes stale — detected on read, recomputed on demand —
+// without a migration.
+const EngineVersion = "repro-engine/7"
+
+// entryFormat versions the on-disk entry layout itself (header framing,
+// digest algorithm). Distinct from EngineVersion: a format bump invalidates
+// how entries are read, an engine bump invalidates what they contain.
+const entryFormat = 1
+
+// Digest is the content address of one cell computation: SHA-256 over the
+// canonical spec bytes.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex (the on-disk naming).
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// KeyBytes renders the canonical byte representation of a cell spec: a
+// deterministic JSON envelope carrying the entry format, the engine
+// version, the caller's kind tag (e.g. "fleet-cell", "campaign-cell",
+// "fleet-trace" — two kinds never collide), and the normalized spec
+// itself. Callers pass a fully normalized struct (no maps, every default
+// materialized): encoding/json marshals struct fields in declaration order
+// with shortest-round-trip floats, so identical configurations produce
+// identical bytes and any coordinate change produces different bytes.
+func KeyBytes(kind string, spec any) ([]byte, error) {
+	env := struct {
+		Format int    `json:"format"`
+		Engine string `json:"engine"`
+		Kind   string `json:"kind"`
+		Spec   any    `json:"spec"`
+	}{entryFormat, EngineVersion, kind, spec}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("store: canonicalizing %s key: %w", kind, err)
+	}
+	return b, nil
+}
+
+// KeyDigest hashes the canonical bytes of a cell spec into its content
+// address.
+func KeyDigest(kind string, spec any) (Digest, error) {
+	b, err := KeyBytes(kind, spec)
+	if err != nil {
+		return Digest{}, err
+	}
+	return sha256.Sum256(b), nil
+}
+
+// Stats are the store's monotone counters since Open. Hits+Misses counts
+// Get calls; Invalid counts the subset of misses caused by an entry that
+// exists but failed verification (corruption or a stale engine version).
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Writes  uint64
+	Invalid uint64
+}
+
+// HitRate returns hits/(hits+misses) in [0, 1], or 0 before any Get.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Store is a local content-addressed result store rooted at one directory.
+// All methods are safe for concurrent use: entries are immutable, writes
+// are atomic renames, and the counters are atomics.
+type Store struct {
+	dir string
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	writes  atomic.Uint64
+	invalid atomic.Uint64
+}
+
+// DefaultDir is the conventional store location, relative to the working
+// directory of the run.
+const DefaultDir = ".repro-store"
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		dir = DefaultDir
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Writes:  s.writes.Load(),
+		Invalid: s.invalid.Load(),
+	}
+}
+
+// entryPath shards entries by the first digest byte, kopia-style, so a
+// million-entry store never puts a million names in one directory.
+func (s *Store) entryPath(key Digest) string {
+	name := key.String()
+	return filepath.Join(s.dir, "objects", name[:2], name+".entry")
+}
+
+// header is the first line of every entry file.
+type header struct {
+	Format  int    `json:"format"`
+	Engine  string `json:"engine"`
+	Key     string `json:"key"`
+	Payload string `json:"payload_sha256"`
+	Size    int64  `json:"size"`
+}
+
+// Get returns the verified payload stored under key, or ok=false on a
+// miss. A miss is indistinguishable by design between "never computed",
+// "corrupt entry", and "stale engine version" — in every case the caller
+// recomputes and Puts, which heals the entry; only the Invalid counter
+// tells the cases apart.
+func (s *Store) Get(key Digest) ([]byte, bool) {
+	data, err := os.ReadFile(s.entryPath(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := verify(key, data)
+	if err != nil {
+		s.invalid.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// verify checks one raw entry file against the key it is addressed by and
+// returns its payload. Every failure mode — torn header, truncated
+// payload, flipped bit, foreign key, stale engine — is an error.
+func verify(key Digest, data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("store: entry missing header line")
+	}
+	var h header
+	if err := json.Unmarshal(data[:nl], &h); err != nil {
+		return nil, fmt.Errorf("store: corrupt header: %w", err)
+	}
+	if h.Format != entryFormat {
+		return nil, fmt.Errorf("store: entry format %d, want %d", h.Format, entryFormat)
+	}
+	if h.Engine != EngineVersion {
+		return nil, fmt.Errorf("store: entry from engine %q, want %q", h.Engine, EngineVersion)
+	}
+	if h.Key != key.String() {
+		return nil, fmt.Errorf("store: entry keyed %s filed under %s", h.Key, key)
+	}
+	payload := data[nl+1:]
+	if int64(len(payload)) != h.Size {
+		return nil, fmt.Errorf("store: payload %d bytes, header says %d (truncated entry)", len(payload), h.Size)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != h.Payload {
+		return nil, fmt.Errorf("store: payload digest mismatch (corrupt entry)")
+	}
+	return payload, nil
+}
+
+// Put persists payload under key. The entry is assembled in a temp file in
+// the same directory and renamed into place, so concurrent writers of the
+// same digest race benignly (they write identical bytes) and a crash never
+// leaves a torn entry under its final name.
+func (s *Store) Put(key Digest, payload []byte) error {
+	path := s.entryPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	hdr, err := json.Marshal(header{
+		Format:  entryFormat,
+		Engine:  EngineVersion,
+		Key:     key.String(),
+		Payload: hex.EncodeToString(sum[:]),
+		Size:    int64(len(payload)),
+	})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(append(append(hdr, '\n'), payload...))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing entry: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// GetJSON is Get plus a strict JSON decode of the payload into out. A
+// payload that fails to decode (schema skew inside one engine version —
+// should not happen, but must not crash) counts as invalid and misses.
+func (s *Store) GetJSON(key Digest, out any) bool {
+	payload, ok := s.Get(key)
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		s.invalid.Add(1)
+		s.hits.Add(^uint64(0)) // undo the hit: this entry is unusable
+		s.misses.Add(1)
+		return false
+	}
+	return true
+}
+
+// PutJSON marshals v and Puts it under key.
+func (s *Store) PutJSON(key Digest, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: encoding payload: %w", err)
+	}
+	return s.Put(key, payload)
+}
+
+// CorruptForTest flips one byte of the stored entry's payload region —
+// the corruption-suite hook, exported so the fleet and campaign tests can
+// damage entries without knowing the layout.
+func (s *Store) CorruptForTest(key Digest) error {
+	path := s.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return io.ErrUnexpectedEOF
+	}
+	data[len(data)-1] ^= 0x01
+	return os.WriteFile(path, data, 0o644)
+}
+
+// EntryPathForTest exposes the on-disk path of an entry for the corruption
+// suite (truncation, header rewrites).
+func (s *Store) EntryPathForTest(key Digest) string { return s.entryPath(key) }
