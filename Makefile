@@ -9,10 +9,18 @@ FUZZTIME ?= 10s
 
 # Same-run throughput floor for the batched fleet kernel: batched must be
 # at least this many times faster than scalar on BenchmarkFleetThroughput.
-# Set from a measured 1.67x (see docs/benchmarks.md for why not more) with
+# Set from a measured ~1.7x (see docs/benchmarks.md for why not more) with
 # margin for runner noise; raise it only after re-measuring, lower it only
 # with a written justification of what legitimately got slower.
 MIN_SPEEDUP ?= 1.4
+
+# Absolute B/op ceiling for the batched fleet kernel on
+# BenchmarkFleetThroughput/batched. Per-op bytes are a property of the
+# code path (fixed-size buffers, pooled arenas), not the host, so the
+# ceiling travels across runners. Set from a measured ~239 kB/op with
+# ~65% headroom; a trip means per-op memory genuinely grew (a pool that
+# stopped pooling, a slice that started escaping).
+MAX_BATCH_BYTES ?= 400000
 
 .PHONY: all build test race bench bench-json bench-baseline bench-ratio bench-record lint fmt fuzz cover api-check api-surface ci clean
 
@@ -50,6 +58,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(HOTBENCH)' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_latest.json
 	$(GO) run ./cmd/benchjson -check -max-allocs-regress 0.20 BENCH_baseline.json BENCH_latest.json
+	$(GO) run ./cmd/benchjson -max-bytes 'BenchmarkFleetThroughput/batched,$(MAX_BATCH_BYTES)' BENCH_latest.json
 
 # Regenerate the committed baseline after an INTENTIONAL allocation-profile
 # change; say why in the commit message.
@@ -71,8 +80,9 @@ bench-ratio:
 # Archive a full benchmark sweep under benchmarks/results/ with a
 # timestamped filename and host provenance (OS/arch/CPU/core-count/Go
 # version): the directory accumulates the perf trajectory across commits
-# and machines. Local records are git-ignored; CI uploads its own as
-# workflow artifacts.
+# and machines. Records are committed — the directory IS the trajectory —
+# so run this when a PR changes the perf profile and commit the new file
+# alongside it.
 bench-record:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... \
 		| $(GO) run ./cmd/benchjson -record benchmarks/results
@@ -122,4 +132,4 @@ ci: build lint api-check race bench bench-json bench-ratio fuzz cover
 
 clean:
 	rm -f bench.txt coverage.out BENCH_latest.json BENCH_throughput.json .api-surface.latest
-	rm -rf benchmarks/results
+	find . -name '*.test' -type f -delete

@@ -8,6 +8,7 @@
 //	go test -run '^$' -bench . -benchmem . | benchjson -record benchmarks/results
 //	benchjson -check BENCH_baseline.json BENCH_latest.json -max-allocs-regress 0.20
 //	benchjson -min-speedup 'Benchmark/batched,Benchmark/scalar,1.4' BENCH_latest.json
+//	benchjson -max-bytes 'Benchmark/batched,400000' BENCH_latest.json
 //
 // The check compares allocs/op only: nanoseconds vary with the host, but
 // the hot loops are engineered to allocate a fixed, machine-independent
@@ -15,6 +16,13 @@
 // regression (a buffer that stopped being reused, a new per-step
 // allocation). ns/op and B/op are recorded in the artifact for trend
 // diffing across CI runs but never gated.
+//
+// -max-bytes gates B/op of one benchmark against an absolute ceiling.
+// Like allocs/op — and unlike ns/op — bytes allocated per operation is a
+// property of the code path, not the host: the hot loops allocate fixed-
+// size buffers a fixed number of times, so a ceiling with headroom only
+// trips when per-op memory genuinely grew (a pool that stopped pooling, a
+// slice that started escaping).
 //
 // -min-speedup gates a ratio of two benchmarks measured in the SAME run,
 // which IS host-independent: both numerator and denominator ran on the
@@ -83,6 +91,7 @@ func main() {
 		check      = fs.Bool("check", false, "compare two artifacts: benchjson -check baseline.json latest.json")
 		maxRegress = fs.Float64("max-allocs-regress", 0.20, "with -check: maximum tolerated fractional allocs/op growth")
 		minSpeedup = fs.String("min-speedup", "", "gate 'NUM,DEN,RATIO': in the given artifact, benchmark NUM must be at least RATIO times faster than DEN")
+		maxBytes   = fs.String("max-bytes", "", "gate 'NAME,CEILING': in the given artifact, benchmark NAME's B/op must not exceed CEILING")
 		only       = fs.String("only", "", "comma-separated benchmark-name substrings to keep (empty = all)")
 	)
 	if err := cli.ParseFlags(fs, os.Args[1:]); err != nil {
@@ -103,6 +112,15 @@ func main() {
 			fatal(fmt.Errorf("-min-speedup needs exactly one artifact file"))
 		}
 		if err := runSpeedup(fs.Arg(0), *minSpeedup); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *maxBytes != "" {
+		if fs.NArg() != 1 {
+			fatal(fmt.Errorf("-max-bytes needs exactly one artifact file"))
+		}
+		if err := runMaxBytes(fs.Arg(0), *maxBytes); err != nil {
 			fatal(err)
 		}
 		return
@@ -325,6 +343,38 @@ func runSpeedup(path, spec string) error {
 			ratio, want, numName, denName)
 	}
 	return nil
+}
+
+// runMaxBytes enforces an absolute B/op ceiling on one benchmark. spec is
+// "NAME,CEILING". Bytes per op, like allocs per op, is machine-independent
+// for the engineered hot loops, so an absolute ceiling travels across CI
+// runners the way a ns/op gate cannot.
+func runMaxBytes(path, spec string) error {
+	name, limitStr, ok := strings.Cut(spec, ",")
+	if !ok {
+		return fmt.Errorf("-max-bytes wants 'NAME,CEILING', got %q", spec)
+	}
+	name = strings.TrimSpace(name)
+	limit, err := strconv.ParseFloat(strings.TrimSpace(limitStr), 64)
+	if err != nil || limit <= 0 {
+		return fmt.Errorf("-max-bytes ceiling %q is not a positive number", limitStr)
+	}
+	f, err := load(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range f.Benchmarks {
+		if e.Name != name {
+			continue
+		}
+		fmt.Printf("benchjson: %s B/op %.0f (ceiling %.0f)\n", name, e.BytesPerOp, limit)
+		if e.BytesPerOp > limit {
+			return fmt.Errorf("%s allocates %.0f B/op, above the %.0f ceiling: per-op memory grew; find the allocation before merging (if intentional, raise the ceiling in the Makefile with justification)",
+				name, e.BytesPerOp, limit)
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: benchmark %q not in artifact", path, name)
 }
 
 // writeRecord archives the artifact under dir with a sortable UTC

@@ -151,6 +151,30 @@ func TestRunSpeedup(t *testing.T) {
 	}
 }
 
+// TestRunMaxBytes pins the absolute B/op ceiling gate: at or under the
+// ceiling passes, over it fails, and malformed specs or missing
+// benchmarks are errors rather than silent passes.
+func TestRunMaxBytes(t *testing.T) {
+	art := writeArtifact(t, "bytes.json", []Entry{
+		{Name: "Bench/batched", NsPerOp: 1, BytesPerOp: 239032},
+		{Name: "Bench/scalar", NsPerOp: 1, BytesPerOp: 1.5e6},
+	})
+	if err := runMaxBytes(art, "Bench/batched,400000"); err != nil {
+		t.Fatalf("239032 B/op failed a 400000 ceiling: %v", err)
+	}
+	if err := runMaxBytes(art, "Bench/batched, 239032"); err != nil {
+		t.Fatalf("B/op exactly at the ceiling failed: %v", err)
+	}
+	if err := runMaxBytes(art, "Bench/scalar,400000"); err == nil {
+		t.Fatal("1.5e6 B/op passed a 400000 ceiling")
+	}
+	for _, bad := range []string{"no-ceiling", "Bench/batched,zero", "Bench/batched,-5", "Nope,100"} {
+		if err := runMaxBytes(art, bad); err == nil {
+			t.Errorf("spec %q did not fail", bad)
+		}
+	}
+}
+
 // TestWriteRecord pins the archive mode: a sortable timestamped filename
 // and host provenance on the artifact.
 func TestWriteRecord(t *testing.T) {

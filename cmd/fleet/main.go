@@ -26,6 +26,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -82,6 +84,8 @@ population flags (ignored when -spec is given):
   -freeze-workload         all devices share one workload realization
   -tmax C  -period S       thermal constraint / control period overrides
 run flags: -workers N  -seed N  -quiet  -json FILE  -csv FILE
+  -cpuprofile FILE         write a CPU profile of the run (go tool pprof)
+  -memprofile FILE         write a post-run heap profile
 store flags (run, replay-cell):
   -store DIR               content-addressed result store (default .repro-store);
                            identical cells are served from it instead of re-simulated
@@ -226,11 +230,13 @@ func cmdRun(ctx context.Context, args []string) error {
 	sf := newSpecFlags(fs)
 	stf := newStoreFlags(fs)
 	var (
-		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		baseSeed = fs.Int64("seed", 1, "fleet base seed (population draw + every derived stream)")
-		jsonOut  = fs.String("json", "", "write the aggregate report as JSON to this file")
-		csvOut   = fs.String("csv", "", "write one CSV row per group to this file")
-		quiet    = fs.Bool("quiet", false, "suppress per-device progress on stderr")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		baseSeed   = fs.Int64("seed", 1, "fleet base seed (population draw + every derived stream)")
+		jsonOut    = fs.String("json", "", "write the aggregate report as JSON to this file")
+		csvOut     = fs.String("csv", "", "write one CSV row per group to this file")
+		quiet      = fs.Bool("quiet", false, "suppress per-device progress on stderr")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering the population run to this file")
+		memProfile = fs.String("memprofile", "", "write a post-run heap profile (after GC) to this file")
 	)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
@@ -240,6 +246,10 @@ func cmdRun(ctx context.Context, args []string) error {
 		return err
 	}
 	st, err := stf.open()
+	if err != nil {
+		return err
+	}
+	prof, err := startProfile(*cpuProfile)
 	if err != nil {
 		return err
 	}
@@ -258,6 +268,15 @@ func cmdRun(ctx context.Context, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "fleet: simulating %d devices\n", spec.N)
 	rep, err := eng.Run(ctx, spec)
+	// Profiles are finalized before any exit path below: the CPU profile
+	// covers exactly the population run (cancelled or not) and the heap
+	// profile snaps what the run left retained.
+	if perr := prof.finish(*memProfile); perr != nil {
+		if err == nil {
+			return perr
+		}
+		fmt.Fprintln(os.Stderr, "fleet:", perr)
+	}
 	if st != nil {
 		s := st.Stats()
 		fmt.Fprintf(os.Stderr, "fleet: store %s: %d hits, %d misses (%.0f%% hit rate)\n",
@@ -362,6 +381,58 @@ func replaySummary(cfg fleet.CellConfig, res *sim.Result) string {
 	}
 	return fmt.Sprintf("fleet: device %s: exec=%.1fs energy=%.0fJ maxT=%.1fC board=%s",
 		cfg, res.ExecTime, res.Energy, res.MaxTemp, board)
+}
+
+// profile manages optional pprof capture around a population run — the
+// groundwork the soak harness needs to attribute fleet time and memory.
+// A zero cpuPath/memPath disables the respective capture, so the flags are
+// free when unused.
+type profile struct {
+	cpu *os.File
+}
+
+// startProfile begins CPU profiling into cpuPath ("" = disabled).
+func startProfile(cpuPath string) (*profile, error) {
+	p := &profile{}
+	if cpuPath == "" {
+		return p, nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	p.cpu = f
+	return p, nil
+}
+
+// finish stops the CPU profile and, when memPath is set, writes a post-GC
+// heap profile there — retained memory, not transient garbage, which is
+// what the bounded-memory contract is about.
+func (p *profile) finish(memPath string) error {
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return err
+		}
+		p.cpu = nil
+	}
+	if memPath == "" {
+		return nil
+	}
+	f, err := os.Create(memPath)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"os"
 	"strings"
 	"testing"
 
@@ -75,6 +77,51 @@ func TestReplaySummary(t *testing.T) {
 		if !strings.Contains(got, c.want) {
 			t.Errorf("%s: summary %q, want it to contain %q", c.name, got, c.want)
 		}
+	}
+}
+
+// TestProfileCapture smoke-tests the -cpuprofile/-memprofile plumbing: a
+// tiny fleet run between startProfile and finish must leave both profile
+// files on disk, non-empty (pprof's proto output is never zero bytes).
+func TestProfileCapture(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := dir + "/cpu.pprof"
+	memPath := dir + "/mem.pprof"
+	prof, err := startProfile(cpuPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := buildSpec(4, "without-fan", "", "cold-start", 0, false, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &fleet.Engine{Workers: 1, BaseSeed: 1}
+	if _, err := eng.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.finish(memPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpuPath, memPath} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+// TestProfileDisabled pins that empty paths are a no-op: nothing written,
+// no error — the default invocation must not pay for profiling.
+func TestProfileDisabled(t *testing.T) {
+	prof, err := startProfile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.finish(""); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -18,14 +18,13 @@ package campaign
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"iter"
-	"runtime"
 	"sync"
 
 	"repro/internal/platform"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -322,22 +321,12 @@ type Engine struct {
 	storeTag     string
 	storeTagOnce sync.Once
 
-	// Per-platform device cache for the Platforms sweep axis: each
-	// non-default platform gets one runner and one characterization
-	// (seeded with BaseSeed), built on first use and shared by all of its
-	// cells. platMu only guards the map; the expensive characterization
-	// runs under the entry's own lock so two platforms can characterize
-	// concurrently without serializing on each other.
-	platMu  sync.Mutex
-	platDev map[string]*platformDevice
-}
-
-// platformDevice is one lazily characterized non-default platform.
-type platformDevice struct {
-	mu     sync.Mutex
-	runner *sim.Runner
-	models *sim.Characterization
-	err    error
+	// devices is the shared per-platform cache for the Platforms sweep
+	// axis: each non-default platform gets one runner and one
+	// characterization (seeded with BaseSeed), built on first use and
+	// shared by all of its cells. The fleet engine resolves its platforms
+	// through the same cache via DeviceFor.
+	devices sched.Cache
 }
 
 // runnerPlatform names the platform a runner simulates.
@@ -359,42 +348,7 @@ func (e *Engine) DeviceFor(ctx context.Context, name string) (*sim.Runner, *sim.
 	if name == "" || name == runnerPlatform(e.Runner) {
 		return e.Runner, e.Models, nil
 	}
-	e.platMu.Lock()
-	if e.platDev == nil {
-		e.platDev = make(map[string]*platformDevice)
-	}
-	dev, ok := e.platDev[name]
-	if !ok {
-		dev = &platformDevice{}
-		e.platDev[name] = dev
-	}
-	e.platMu.Unlock()
-	dev.mu.Lock()
-	defer dev.mu.Unlock()
-	if dev.runner != nil || dev.err != nil {
-		return dev.runner, dev.models, dev.err
-	}
-	desc, err := platform.ByName(name)
-	if err != nil {
-		dev.err = err
-		return nil, nil, err
-	}
-	// DTPM cells need the Chapter 4 models; prediction-accuracy accounting
-	// uses them under any policy. Characterize with the campaign base seed
-	// so the sweep is reproducible.
-	runner := sim.NewRunnerFor(desc)
-	models, err := runner.Characterize(ctx, e.BaseSeed)
-	if err != nil {
-		// A cancelled characterization is transient: cache nothing, so a
-		// later sweep on this engine (with a live context) retries instead
-		// of inheriting a poisoned "context canceled" for the platform.
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			dev.err = err
-		}
-		return nil, nil, err
-	}
-	dev.runner, dev.models = runner, models
-	return dev.runner, dev.models, nil
+	return e.devices.Device(ctx, name, e.BaseSeed)
 }
 
 // Run executes every cell of the grid and returns the report. Individual
@@ -460,64 +414,9 @@ func (e *Engine) Stream(ctx context.Context, grid Grid) (iter.Seq[CellResult], e
 	e.mu.Lock()
 	e.done, e.total = 0, len(cells)
 	e.mu.Unlock()
-	workers := e.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	return func(yield func(CellResult) bool) {
-		ictx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		out := make(chan CellResult)
-		// abandoned is closed only when the consumer breaks out of the
-		// iteration — the one case where nobody will ever receive again.
-		// Context cancellation deliberately does NOT unblock the send:
-		// the consumer keeps draining until close(out), and a cell that
-		// finished around the cancellation instant must still be
-		// delivered (dropping it would mislabel a completed cell as
-		// never-started in the collected report).
-		abandoned := make(chan struct{})
-		var (
-			wg   sync.WaitGroup
-			mu   sync.Mutex
-			next int
-		)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					mu.Lock()
-					i := next
-					next++
-					mu.Unlock()
-					if i >= len(cells) || ictx.Err() != nil {
-						return
-					}
-					select {
-					case out <- e.runCell(ictx, cells[i]):
-					case <-abandoned:
-						return
-					}
-				}
-			}()
-		}
-		go func() {
-			wg.Wait()
-			close(out)
-		}()
-		for r := range out {
-			if !yield(r) {
-				cancel()
-				close(abandoned)
-				for range out { // drain until the pool exits
-				}
-				return
-			}
-		}
-	}, nil
+	return sched.Stream(ctx, sched.Pool{Workers: e.Workers}, len(cells), func(ictx context.Context, i int) CellResult {
+		return e.runCell(ictx, cells[i])
+	}), nil
 }
 
 // RunAll is the lower-level primitive the experiments package drives: it
@@ -543,41 +442,7 @@ func (e *Engine) RunAll(ctx context.Context, opts []sim.Options) ([]*sim.Result,
 // up to Workers goroutines, and fn itself owns any synchronization of
 // shared state it touches.
 func (e *Engine) ForEach(n int, fn func(i int)) {
-	workers := e.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	sched.Pool{Workers: e.Workers}.ForEach(n, fn)
 }
 
 // runCell executes one cell, translating every failure mode into a
@@ -747,13 +612,9 @@ func (e *Engine) notify(r CellResult) {
 }
 
 // RunSafely runs one simulation and converts panics into errors, so a
-// pathological cell cannot take a whole sweep down. The fleet engine uses
-// it for the same containment guarantee on population cells.
-func RunSafely(ctx context.Context, r *sim.Runner, opt sim.Options) (res *sim.Result, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			res, err = nil, fmt.Errorf("campaign: cell panicked: %v", p)
-		}
-	}()
-	return r.Run(ctx, opt)
+// pathological cell cannot take a whole sweep down. It is sched.RunSafely,
+// re-exported where the engines historically found it; the fleet engine
+// uses the sched primitive directly.
+func RunSafely(ctx context.Context, r *sim.Runner, opt sim.Options) (*sim.Result, error) {
+	return sched.RunSafely(ctx, r, opt)
 }

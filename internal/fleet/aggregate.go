@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"sync"
+
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -53,12 +55,36 @@ type cellAgg struct {
 	res *sim.Result
 }
 
+// aggPool recycles cell aggregators — the histogram backing dominates a
+// cell's footprint, and on store-less runs the collector returns each one
+// the moment its merge folds it, so a million-cell fleet cycles through a
+// worker-count-sized set of them instead of allocating a million.
+var aggPool = sync.Pool{New: func() any {
+	return &cellAgg{skin: stats.NewHistogram(skinLoC, skinHiC, skinBins)}
+}}
+
 func newCellAgg(desc *platform.Descriptor, tmax float64) *cellAgg {
-	return &cellAgg{
-		tmax:   tmax,
-		maxGHz: desc.Big.Domain.MaxFreq().GHz(),
-		skin:   stats.NewHistogram(skinLoC, skinHiC, skinBins),
+	a := aggPool.Get().(*cellAgg)
+	a.tmax = tmax
+	a.maxGHz = desc.Big.Domain.MaxFreq().GHz()
+	return a
+}
+
+// releaseCellAgg returns a merged aggregator to the pool. Callers must be
+// the last reader: the collector only recycles on store-less runs, and
+// tryRunBatch's abandoned aggregators are deliberately NOT released (the
+// panic path can't prove the batch kernel dropped every reference).
+func releaseCellAgg(a *cellAgg) {
+	if a == nil {
+		return
 	}
+	a.skin.Reset()
+	a.skinM = stats.Moments{}
+	a.coreM = stats.Moments{}
+	a.overN, a.n = 0, 0
+	a.freqFrac = 0
+	a.res = nil
+	aggPool.Put(a)
 }
 
 // observe is the per-control-interval fold — the sim.Options.Observer hook.

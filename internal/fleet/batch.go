@@ -26,46 +26,17 @@ func (e *Engine) batchSize() int {
 	}
 }
 
-// batchUnits partitions the population into work units for the pool:
-// cells sharing a (platform, scenario) pair — and therefore a runner and a
-// scenario shape — are grouped in index order and chunked to the batch
-// width. Units of one cell (stragglers, or BatchSize 1) run the plain
-// scalar path. DeriveCell is pure and cheap, so planning re-derives the
-// configs rather than retaining spec.N of them.
-func (e *Engine) batchUnits(spec Spec) [][]int {
-	size := e.batchSize()
-	byKey := map[[2]string][]int{}
-	var order [][2]string
-	for i := 0; i < spec.N; i++ {
-		cfg := DeriveCell(spec, e.BaseSeed, i)
-		key := [2]string{cfg.Platform, cfg.Scenario}
-		if _, ok := byKey[key]; !ok {
-			order = append(order, key)
-		}
-		byKey[key] = append(byKey[key], i)
-	}
-	units := make([][]int, 0, spec.N/size+len(order))
-	for _, k := range order {
-		idx := byKey[k]
-		for len(idx) > size {
-			units = append(units, idx[:size:size])
-			idx = idx[size:]
-		}
-		units = append(units, idx)
-	}
-	return units
-}
-
 // runBatchUnit executes one work unit. With a store attached the unit is
 // first split into hits and misses: hits are served as-is and only the
-// misses are computed (batched when more than one remains) — then persisted
-// before the collector frees their aggregators. Multi-cell compute tries
-// the lock-step batch kernel first; on any refusal — incompatible options,
-// a mid-run error, a panic — it falls back to per-cell scalar runs, which
-// are always correct and reproduce any per-cell failure in the cell it
-// belongs to. The outcomes are returned in unit order (outs[j] belongs to
-// indices[j]).
-func (e *Engine) runBatchUnit(ctx context.Context, spec Spec, pol sim.Policy, indices []int) []cellOutcome {
+// misses are computed (batched when more than one remains) — then handed
+// to the async store writer, which persists them off the hot path (the
+// collector never recycles aggregators on store-backed runs, so the
+// writer's reads stay safe). Multi-cell compute tries the lock-step batch
+// kernel first; on any refusal — incompatible options, a mid-run error, a
+// panic — it falls back to per-cell scalar runs, which are always correct
+// and reproduce any per-cell failure in the cell it belongs to. The
+// outcomes are returned in unit order (outs[j] belongs to indices[j]).
+func (e *Engine) runBatchUnit(ctx context.Context, spec Spec, pol sim.Policy, indices []int, writer *storeWriter) []cellOutcome {
 	if e.Store == nil {
 		return e.computeUnit(ctx, spec, pol, indices)
 	}
@@ -82,7 +53,7 @@ func (e *Engine) runBatchUnit(ctx context.Context, spec Spec, pol sim.Policy, in
 	if len(missIdx) > 0 {
 		computed := e.computeUnit(ctx, spec, pol, missIdx)
 		for k, j := range missPos {
-			e.putCell(spec, computed[k])
+			writer.enqueue(computed[k])
 			outs[j] = computed[k]
 		}
 	}

@@ -39,13 +39,15 @@ func (c CellConfig) String() string {
 // are decorrelated and any (base, index) pair opens an independent stream.
 type splitmix struct{ state uint64 }
 
-func newStream(base int64, index int) *splitmix {
+// newStream opens the (base, index) stream. Returned by value — DeriveCell
+// runs once per derived cell and the four-word state must not escape.
+func newStream(base int64, index int) splitmix {
 	// Mix the index in through one finalizer round so streams of adjacent
 	// devices share no low-bit structure.
 	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(index+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return &splitmix{state: z ^ (z >> 31)}
+	return splitmix{state: z ^ (z >> 31)}
 }
 
 func (s *splitmix) next() uint64 {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/platform"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -75,6 +76,13 @@ type Engine struct {
 	// charMu serializes the lazy anchor characterization and the
 	// provenance fields above.
 	charMu sync.Mutex
+
+	// lastMaxPending / lastMaxBuffered record the previous Run's
+	// high-water marks of the collector's reorder window and the
+	// planner's buffers — the observability hooks the bounded-memory
+	// test asserts on. Written once after the pool drains.
+	lastMaxPending  int
+	lastMaxBuffered int
 }
 
 // cellOutcome is what one cell leaves behind for assembly.
@@ -190,18 +198,45 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 		return nil, err
 	}
 	coll := newCollector(spec.N)
+	// Per-worker sim scratch is recycled through pooled arenas; the
+	// collector returns each merged cell's aggregator to the pool — but
+	// only on store-less runs: with a store attached the async writer may
+	// still be marshalling an aggregate after the merge has folded it.
+	coll.recycle = e.Store == nil
 	var (
 		mu   sync.Mutex
 		done int
 	)
+	pool := sched.Pool{Workers: e.Workers}
+	// Store writes leave the hot path: a bounded queue (a few units per
+	// worker) feeds one writer goroutine, and workers block only when the
+	// store falls that far behind.
+	var writer *storeWriter
+	if e.Store != nil {
+		writer = e.startWriter(spec, 4*pool.Size(spec.N)*e.batchSize())
+	}
 	// Work units pack same-(platform, scenario) cells for the batched
-	// kernel; single-cell units take the scalar path inside runBatchUnit,
-	// so BatchSize 1 degenerates to the original per-cell fan-out.
-	units := e.batchUnits(spec)
-	e.pool.ForEach(len(units), func(u int) {
-		outs := e.runBatchUnit(ctx, spec, pol, units[u])
+	// kernel, derived lazily in (platform, scenario) grouped chunks;
+	// single-cell units take the scalar path inside runBatchUnit, so
+	// BatchSize 1 degenerates to the original per-cell fan-out.
+	plan := newUnitPlanner(spec, e.BaseSeed, e.batchSize())
+	// Backpressure: a worker may not take a new unit while the collector's
+	// pending window is full. Without this the reorder window is bounded
+	// only by goroutine scheduling fairness — a preempted worker holding
+	// the frontier unit lets its peers complete a full scheduler slice of
+	// cells each — which on a loaded box scales with throughput, not with
+	// the pool. The gate cannot deadlock: once pending exceeds the
+	// planner's flush window the frontier cell is necessarily in flight
+	// with a worker (a buffered frontier would cap pending at the flush
+	// window), and that worker finishes and merges without ever gating.
+	coll.window = (flushWindowUnits + pool.Size(spec.N)) * e.batchSize()
+	sched.Drain(pool, func() ([]int, bool) {
+		coll.gate()
+		return plan.nextUnit()
+	}, func(unit []int) {
+		outs := e.runBatchUnit(ctx, spec, pol, unit, writer)
 		for j, out := range outs {
-			coll.add(units[u][j], out)
+			coll.add(unit[j], out)
 			if e.OnCellDone != nil {
 				mu.Lock()
 				done++
@@ -210,6 +245,8 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 			}
 		}
 	})
+	writer.close() // drain every queued store write, cancelled or not
+	e.lastMaxPending, e.lastMaxBuffered = coll.maxPending, plan.maxBuffered
 	rep := coll.report(spec, e.BaseSeed)
 	if cause := context.Cause(ctx); cause != nil {
 		return rep, fmt.Errorf("fleet: %w (%w)", sim.ErrCancelled, cause)
@@ -345,41 +382,87 @@ func (e *Engine) cell(ctx context.Context, spec Spec, index int, record bool) (c
 }
 
 // collector assembles the aggregate report incrementally while cells are
-// still running. Completed outcomes are recorded under a lock and merged
-// the moment every lower-indexed cell has been merged too — so the merge
-// happens strictly in cell-index order (the byte-determinism contract)
-// while each cell's aggregator (its histogram backing) is released as
-// soon as it is folded in: the live aggregator count is bounded by the
-// pool's out-of-order window (~worker count), not by the population size,
-// which is what lets a 100 000-cell fleet run in bounded memory.
+// still running. Completed outcomes are parked in a pending window under a
+// lock and merged the moment every lower-indexed cell has been merged too
+// — so the merge happens strictly in cell-index order (the
+// byte-determinism contract) while each cell's aggregator (its histogram
+// backing) is recycled as soon as it is folded in. The pending window is
+// hard-bounded by the gate: workers wait for window room before taking a
+// new unit, so pending stays O(flush window + workers × batch), never
+// O(N) — that, not a cells-length slice, is what lets a million-device
+// fleet run in memory independent of N. Only the per-group scalar tails
+// (one energy / perf-loss / throttle value per completed cell, for the
+// exact percentiles the report promises) and the failure list still grow
+// with the population.
 type collector struct {
-	mu      sync.Mutex
-	outs    []cellOutcome // agg freed once merged; cfg/metrics/err retained
-	ready   []bool
-	next    int // first index not yet merged
-	overall *groupAgg
-	groups  map[[2]string]*groupAgg
-	keys    [][2]string
+	mu        sync.Mutex
+	cond      *sync.Cond // signalled whenever the merge frontier advances
+	n         int
+	pending   map[int]cellOutcome // completed but not yet merged
+	next      int                 // first index not yet merged
+	completed int
+	failures  []CellFailure // collected at merge time, so index order
+	overall   *groupAgg
+	groups    map[[2]string]*groupAgg
+	keys      [][2]string
+
+	// recycle returns merged aggregators to the arena pool. Disabled on
+	// store-backed runs: the async writer may still be marshalling an
+	// aggregate after the merge folded it.
+	recycle bool
+	// window caps the pending map: gate blocks unit hand-out while the
+	// window is full (0 = ungated). Must exceed the planner's flush window
+	// so the frontier cell is always in flight whenever gate blocks.
+	window int
+	// maxPending is the high-water mark of the pending window — the
+	// bounded-memory test asserts it stays under the gate's window plus
+	// one in-flight unit per worker at any population size.
+	maxPending int
 }
 
 func newCollector(n int) *collector {
-	return &collector{
-		outs:    make([]cellOutcome, n),
-		ready:   make([]bool, n),
+	c := &collector{
+		n:       n,
+		pending: map[int]cellOutcome{},
 		overall: newGroupAgg("all", "all"),
 		groups:  map[[2]string]*groupAgg{},
 	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// gate blocks until the pending window has room for another unit's cells.
+// Callers hold no unit when they gate, so the worker running the frontier
+// unit always proceeds to add — which advances the frontier and wakes the
+// gate. See Run for the no-deadlock argument.
+func (c *collector) gate() {
+	if c.window <= 0 {
+		return
+	}
+	c.mu.Lock()
+	for len(c.pending) >= c.window {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
 }
 
 // add records cell i's outcome and advances the in-order merge frontier.
 func (c *collector) add(i int, out cellOutcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.outs[i] = out
-	c.ready[i] = true
-	for c.next < len(c.outs) && c.ready[c.next] {
-		o := &c.outs[c.next]
-		if o.err == "" {
+	c.pending[i] = out
+	if len(c.pending) > c.maxPending {
+		c.maxPending = len(c.pending)
+	}
+	for {
+		o, ok := c.pending[c.next]
+		if !ok {
+			break
+		}
+		delete(c.pending, c.next)
+		if o.err != "" {
+			c.failures = append(c.failures, CellFailure{Cell: o.cfg, Err: o.err})
+		} else {
 			key := [2]string{o.cfg.Platform, o.cfg.Scenario}
 			g, ok := c.groups[key]
 			if !ok {
@@ -389,10 +472,14 @@ func (c *collector) add(i int, out cellOutcome) {
 			}
 			g.merge(o.agg, o.metrics)
 			c.overall.merge(o.agg, o.metrics)
+			c.completed++
 		}
-		o.agg = nil // release the histogram backing
+		if c.recycle {
+			releaseCellAgg(o.agg)
+		}
 		c.next++
 	}
+	c.cond.Broadcast()
 }
 
 // report finalizes the deterministic aggregate report. Every cell has been
@@ -402,18 +489,13 @@ func (c *collector) report(spec Spec, baseSeed int64) *Report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	rep := &Report{
-		Name:     spec.Name,
-		BaseSeed: baseSeed,
-		Policy:   spec.Policy,
-		TMaxC:    spec.TMaxC,
-		Cells:    len(c.outs),
-	}
-	for _, out := range c.outs {
-		if out.err != "" {
-			rep.Failures = append(rep.Failures, CellFailure{Cell: out.cfg, Err: out.err})
-			continue
-		}
-		rep.Completed++
+		Name:      spec.Name,
+		BaseSeed:  baseSeed,
+		Policy:    spec.Policy,
+		TMaxC:     spec.TMaxC,
+		Cells:     c.n,
+		Completed: c.completed,
+		Failures:  c.failures,
 	}
 	sort.Slice(c.keys, func(i, j int) bool {
 		if c.keys[i][0] != c.keys[j][0] {

@@ -1,0 +1,114 @@
+package fleet
+
+// unitPlanner derives the population's cells lazily, in index order, and
+// groups same-(platform, scenario) indices into batch-width work units —
+// the streaming replacement for materializing every cell up front. Its
+// memory is bounded by O(#mix-keys × batch), never by the population:
+// at most one partially filled buffer exists per (platform, scenario)
+// pair, and the flush window caps how long any of them can linger.
+//
+// The flush window also bounds the collector's reorder frontier: a buffer
+// whose first index falls more than flushWindow indices behind the scan is
+// emitted partially, so no completed cell ever waits on more than
+// O(flushWindow + workers × batch) unmerged neighbours. Unit shapes carry
+// no entropy — batched and scalar execution are bit-identical per cell and
+// the collector merges strictly in index order — so partial units change
+// wall-clock grouping only, never a report byte.
+//
+// nextUnit is only ever called under the pool's hand-out lock (see
+// sched.Drain), so the planner needs no locking of its own.
+type unitPlanner struct {
+	spec Spec
+	base int64
+	size int
+
+	scan int // next index to derive
+	bufs map[[2]string]*unitBuf
+	// queue holds the buffers with pending cells, oldest first index
+	// first. Buffers enter when their first cell is derived and leave
+	// when emitted, so the order is the scan order of first indices.
+	queue []*unitBuf
+
+	// maxBuffered is the high-water mark of cells held across all buffers
+	// — the planner's contribution to the bounded-memory contract,
+	// asserted by the fleet memory test.
+	maxBuffered int
+}
+
+// unitBuf accumulates the pending indices of one (platform, scenario) key.
+type unitBuf struct {
+	key   [2]string
+	idx   []int
+	first int // idx[0], the frontier this buffer holds back
+}
+
+// flushWindowUnits is the flush window in units of the batch size: a
+// buffer is force-flushed once the scan runs this many batches past its
+// first index. Large enough that a 1-in-32 mix component still fills whole
+// batches, small enough that the collector's pending window (which holds
+// each completed cell's aggregator until merged) stays a few hundred
+// cells.
+const flushWindowUnits = 32
+
+func newUnitPlanner(spec Spec, base int64, size int) *unitPlanner {
+	return &unitPlanner{
+		spec: spec,
+		base: base,
+		size: size,
+		bufs: map[[2]string]*unitBuf{},
+	}
+}
+
+// nextUnit returns the next work unit's cell indices, or ok=false when the
+// population is exhausted. Units are emitted the moment a buffer fills (or
+// falls out of the flush window), so planning and execution overlap: the
+// pool never waits for the whole population to be derived.
+func (p *unitPlanner) nextUnit() ([]int, bool) {
+	buffered := 0
+	for _, b := range p.bufs {
+		buffered += len(b.idx)
+	}
+	for p.scan < p.spec.N {
+		i := p.scan
+		p.scan++
+		cfg := DeriveCell(p.spec, p.base, i)
+		key := [2]string{cfg.Platform, cfg.Scenario}
+		b := p.bufs[key]
+		if b == nil {
+			b = &unitBuf{key: key}
+			p.bufs[key] = b
+		}
+		if len(b.idx) == 0 {
+			b.first = i
+			b.idx = make([]int, 0, p.size)
+			p.queue = append(p.queue, b)
+		}
+		b.idx = append(b.idx, i)
+		if buffered++; buffered > p.maxBuffered {
+			p.maxBuffered = buffered
+		}
+		if len(b.idx) == p.size {
+			return p.take(b), true
+		}
+		if head := p.queue[0]; p.scan-head.first >= flushWindowUnits*p.size {
+			return p.take(head), true
+		}
+	}
+	if len(p.queue) > 0 {
+		return p.take(p.queue[0]), true
+	}
+	return nil, false
+}
+
+// take emits buffer b's unit and removes it from the pending queue.
+func (p *unitPlanner) take(b *unitBuf) []int {
+	for qi, qb := range p.queue {
+		if qb == b {
+			p.queue = append(p.queue[:qi], p.queue[qi+1:]...)
+			break
+		}
+	}
+	idx := b.idx
+	b.idx = nil
+	return idx
+}

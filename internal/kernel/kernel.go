@@ -81,6 +81,41 @@ func (s *Sched) Reserve(nTasks, nCores int) {
 		s.displaced = make([]*Task, 0, nTasks)
 	}
 	s.grow(nCores)
+	// Give every per-core grouping row its worst-case capacity (all tasks
+	// on one core) from one flat slab, so the first ticks never grow them
+	// append by append. Skipped entirely when a recycled scheduler already
+	// has the capacity.
+	need := false
+	for c := 0; c < nCores; c++ {
+		if cap(s.perCore[c]) < nTasks {
+			need = true
+			break
+		}
+	}
+	if need {
+		rows := make([]*Task, nCores*nTasks)
+		for c := 0; c < nCores; c++ {
+			s.perCore[c] = rows[c*nTasks : c*nTasks : (c+1)*nTasks]
+		}
+	}
+}
+
+// Reset empties the scheduler for reuse: tasks are dropped, the clock
+// rewinds to zero, and the grown per-tick buffers keep their capacity — a
+// reset scheduler behaves exactly like NewSched(), allocation-free on its
+// next Reserve/Add cycle. Task references are cleared from every retained
+// buffer so a pooled scheduler does not pin a previous run's tasks.
+func (s *Sched) Reset() {
+	clear(s.tasks)
+	s.tasks = s.tasks[:0]
+	s.now = 0
+	clear(s.displaced[:cap(s.displaced)])
+	s.displaced = s.displaced[:0]
+	for c := range s.perCore {
+		row := s.perCore[c]
+		clear(row[:cap(row)])
+		s.perCore[c] = row[:0]
+	}
 }
 
 // grow ensures the per-core buffers cover n cores.

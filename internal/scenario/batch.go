@@ -3,7 +3,6 @@ package scenario
 import (
 	"math"
 	"strconv"
-	"strings"
 
 	"repro/internal/sim"
 )
@@ -65,29 +64,32 @@ func (c *Compiled) AmbientAt(sh *sim.SharedStep) float64 {
 // Floats are fingerprinted by their exact bit patterns: shapes must match
 // bitwise, not approximately.
 func (c *Compiled) ShapeSignature() string {
-	var b strings.Builder
+	// One grown []byte and strconv's Append forms: the batch kernel
+	// fingerprints every device in a unit, so this sits on the fleet's
+	// per-cell path and must not allocate per field.
+	buf := make([]byte, 0, 64+48*len(c.phases))
 	bits := func(v float64) {
-		b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
-		b.WriteByte(',')
+		buf = strconv.AppendUint(buf, math.Float64bits(v), 16)
+		buf = append(buf, ',')
 	}
-	b.WriteString(c.name)
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(c.workers))
-	b.WriteByte('|')
+	buf = append(buf, c.name...)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(c.workers), 10)
+	buf = append(buf, '|')
 	bits(c.duration)
 	for i := range c.phases {
 		p := &c.phases[i]
-		b.WriteByte(';')
+		buf = append(buf, ';')
 		bits(p.start)
 		bits(p.dur)
 		if p.idle {
-			b.WriteByte('i')
+			buf = append(buf, 'i')
 		} else {
-			b.WriteString(p.bench.Name)
+			buf = append(buf, p.bench.Name...)
 		}
-		b.WriteByte(',')
+		buf = append(buf, ',')
 		bits(p.scale)
-		b.WriteString(p.governor)
+		buf = append(buf, p.governor...)
 	}
-	return b.String()
+	return string(buf)
 }

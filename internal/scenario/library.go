@@ -132,6 +132,16 @@ func Library() []Spec {
 // errors.Is instead of string matching.
 var ErrUnknown = errors.New("unknown scenario")
 
+// The built-in library is immutable, so ByName serves it from a map built
+// once instead of materializing all eight Spec literals per call — ByName
+// sits on the fleet's per-cell setup path. Sharing the cached Phases
+// backing across callers is safe: every spec consumer that rewrites
+// phases (Compile's ambient fold, Perturbed) copies the slice first.
+var (
+	libOnce   sync.Once
+	libByName map[string]Spec
+)
+
 // ByName returns the named scenario: a runtime-registered one first, then
 // the built-in library.
 func ByName(name string) (Spec, error) {
@@ -141,10 +151,15 @@ func ByName(name string) (Spec, error) {
 	if ok {
 		return s, nil
 	}
-	for _, s := range Library() {
-		if s.Name == name {
-			return s, nil
+	libOnce.Do(func() {
+		l := Library()
+		libByName = make(map[string]Spec, len(l))
+		for _, s := range l {
+			libByName[s.Name] = s
 		}
+	})
+	if s, ok := libByName[name]; ok {
+		return s, nil
 	}
 	return Spec{}, fmt.Errorf("scenario: %w %q (known: %v)", ErrUnknown, name, Names())
 }

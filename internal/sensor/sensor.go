@@ -54,6 +54,15 @@ func NewBank(cfg Config, seed int64) *Bank {
 	return &Bank{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the bank to the state NewBank(cfg, seed) produces — the
+// recycling hook for batch arenas. rand.Rand.Seed resets both the source
+// and the buffered-read state, so a reseeded bank's reading stream is
+// bit-identical to a fresh bank's.
+func (b *Bank) Reseed(cfg Config, seed int64) {
+	b.cfg = cfg
+	b.rng.Seed(seed)
+}
+
 func quantize(v, q float64) float64 {
 	if q <= 0 {
 		return v

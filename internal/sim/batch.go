@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dtpm"
 	"repro/internal/governor"
@@ -98,6 +99,70 @@ type batchDev struct {
 	maxTempSeries []float64
 }
 
+// batchArena is the recyclable scratch of one RunBatch call: every
+// allocation whose lifetime is exactly the call and whose reset-to-fresh
+// state is provable. The fleet runs millions of batches with a handful in
+// flight, so pooling these turns the per-batch slab cost into a one-time
+// cost per worker. Deliberately NOT pooled: the thermal BatchSim (its
+// Params copy is cheap and aliasing its matrices across runs is not worth
+// proving safe), each device's chip/fan/reactive/DTPM controller (mutable
+// model state with no reset contract), and the Results (they escape to the
+// caller).
+type batchArena struct {
+	devSlab   []batchDev
+	devs      []*batchDev
+	scripts   []BatchScript
+	flat      []float64     // per-device vector buffers, zeroed on acquire
+	tasks     []kernel.Task // B x nTasks task slab, fully rewritten per use
+	series    []float64     // B x steps maxTempSeries backing, append-only
+	wNames    []string      // cached worker task names for wNamesFor
+	wNamesFor string
+
+	// Reseedable / resettable per-device state: entries are kept across
+	// uses and rewound instead of reallocated (bit-identical to fresh by
+	// each type's contract).
+	banks  []*sensor.Bank
+	bgs    []*workload.Background
+	scheds []*kernel.Sched
+}
+
+var batchArenas = sync.Pool{New: func() any { return new(batchArena) }}
+
+// scratch returns s resliced to length n, reallocating only when the
+// pooled backing is too small. Contents are unspecified — callers fully
+// rewrite (or explicitly zero) what they use.
+func scratch[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// keep grows s to length n preserving existing elements — for the arena's
+// reusable per-device objects (banks, backgrounds, schedulers), where a
+// surviving entry is rewound rather than replaced.
+func keep[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]T, n)
+	copy(out, s)
+	return out
+}
+
+// release returns the arena to the pool, dropping every reference a future
+// holder must not resurrect: the device slab retains observer closures and
+// Result pointers, the task slab retains demand closures. The reusable
+// RNG-backed objects stay — rewinding them is the point of the pool.
+func (a *batchArena) release() {
+	clear(a.devSlab)
+	clear(a.devs)
+	clear(a.scripts)
+	clear(a.tasks)
+	a.series = a.series[:0]
+	batchArenas.Put(a)
+}
+
 // RunBatch executes len(opts) scripted runs in lock-step as one batch,
 // sharing the per-interval script evaluation, the thermal integrator's
 // stage buffers, and a fused power evaluation across devices. Per device
@@ -120,9 +185,13 @@ func (r *Runner) RunBatch(ctx context.Context, opts []Options) ([]*Result, error
 	}
 	B := len(opts)
 
+	arena := batchArenas.Get().(*batchArena)
+	defer arena.release()
+
 	// Normalize every option set exactly like Run, then insist the batch
 	// agrees on everything that is shared in lock-step.
-	scripts := make([]BatchScript, B)
+	arena.scripts = scratch(arena.scripts, B)
+	scripts := arena.scripts
 	for i := range opts {
 		opt := &opts[i]
 		if opt.ControlPeriod == 0 {
@@ -173,12 +242,37 @@ func (r *Runner) RunBatch(ctx context.Context, opts []Options) ([]*Result, error
 	idle := r.IdleState()
 
 	// One flat backing array for every per-device per-step vector buffer,
-	// mirroring Run's allocation-reuse invariant batch-wide.
+	// mirroring Run's allocation-reuse invariant batch-wide. The arena
+	// backing carries stale values; zero it — fresh-make semantics.
 	perDev := maxCores + 2*nodes + nTasks
-	flat := make([]float64, B*perDev)
+	arena.flat = scratch(arena.flat, B*perDev)
+	flat := arena.flat
+	clear(flat)
 
-	devs := make([]*batchDev, B)
-	devSlab := make([]batchDev, B)
+	// The batch agrees on the governor (checked above), so build all B
+	// fresh instances in one slab; reseed/reset the arena's RNG-backed
+	// per-device objects instead of reallocating them — each type's rewind
+	// is bit-identical to a fresh construction.
+	govs, err := governor.ByNameN(ref.Governor, B)
+	if err != nil {
+		return nil, err
+	}
+	arena.banks = keep(arena.banks, B)
+	arena.bgs = keep(arena.bgs, B)
+	arena.scheds = keep(arena.scheds, B)
+	arena.tasks = scratch(arena.tasks, B*nTasks)
+	if arena.wNamesFor != scripts[0].Name() || len(arena.wNames) < nWorkers {
+		arena.wNames = make([]string, nWorkers)
+		for i := range arena.wNames {
+			arena.wNames[i] = fmt.Sprintf("%s-w%d", scripts[0].Name(), i)
+		}
+		arena.wNamesFor = scripts[0].Name()
+	}
+
+	arena.devs = scratch(arena.devs, B)
+	arena.devSlab = scratch(arena.devSlab, B)
+	devs := arena.devs
+	devSlab := arena.devSlab
 	for d := 0; d < B; d++ {
 		dev := &devSlab[d]
 		devs[d] = dev
@@ -186,15 +280,16 @@ func (r *Runner) RunBatch(ctx context.Context, opts []Options) ([]*Result, error
 		dev.opt = opt
 		dev.script = scripts[d]
 
-		gov, err := governor.ByName(opt.Governor)
-		if err != nil {
-			return nil, err
-		}
-		dev.gov = gov
+		dev.gov = govs[d]
 		dev.gpuGov = governor.NewGPU()
 		dev.chip = platform.NewChipFor(desc)
 		bsim.SetState(d, idle)
-		dev.bank = sensor.NewBank(r.Sensors, opt.Seed)
+		if arena.banks[d] == nil {
+			arena.banks[d] = sensor.NewBank(r.Sensors, opt.Seed)
+		} else {
+			arena.banks[d].Reseed(r.Sensors, opt.Seed)
+		}
+		dev.bank = arena.banks[d]
 		if desc.Fan != nil {
 			dev.fan = thermal.NewFanControllerFor(*desc.Fan)
 		}
@@ -233,19 +328,29 @@ func (r *Runner) RunBatch(ctx context.Context, opts []Options) ([]*Result, error
 
 		// Workload: same task pool layout as Run — script workers first,
 		// then background daemons — so TickWith demand indices line up.
-		dev.sched = kernel.NewSched()
+		if arena.scheds[d] == nil {
+			arena.scheds[d] = kernel.NewSched()
+		} else {
+			arena.scheds[d].Reset()
+		}
+		dev.sched = arena.scheds[d]
 		dev.sched.Reserve(nTasks, maxCores)
-		taskPool := make([]kernel.Task, nTasks)
+		taskPool := arena.tasks[d*nTasks : (d+1)*nTasks]
 		for i := 0; i < nWorkers; i++ {
 			tk := &taskPool[i]
 			*tk = kernel.Task{
-				Name:     fmt.Sprintf("%s-w%d", opt.Script.Name(), i),
+				Name:     arena.wNames[i],
 				WorkLeft: math.Inf(1),
 			}
 			dev.scriptTasks = append(dev.scriptTasks, tk)
 			dev.sched.Add(tk)
 		}
-		dev.bg = workload.NewBackgroundN(opt.Seed+77, nodes)
+		if arena.bgs[d] == nil || arena.bgs[d].Cores() != nodes {
+			arena.bgs[d] = workload.NewBackgroundN(opt.Seed+77, nodes)
+		} else {
+			arena.bgs[d].Reseed(opt.Seed + 77)
+		}
+		dev.bg = arena.bgs[d]
 		dev.bgUtil = dev.bg.UtilAt()
 		for i := 0; i < nodes; i++ {
 			tk := &taskPool[nWorkers+i]
@@ -276,8 +381,9 @@ func (r *Runner) RunBatch(ctx context.Context, opts []Options) ([]*Result, error
 
 	dt := ref.ControlPeriod
 	steps := int(ref.MaxDuration/dt) + 1
+	arena.series = scratch(arena.series, B*steps)
 	for d := range devs {
-		devs[d].maxTempSeries = make([]float64, 0, steps)
+		devs[d].maxTempSeries = arena.series[d*steps : d*steps : (d+1)*steps]
 	}
 
 	// The batch agrees on the initial governor and sees one shared
@@ -290,6 +396,9 @@ func (r *Runner) RunBatch(ctx context.Context, opts []Options) ([]*Result, error
 	completed := false
 
 	elapsed := 0.0
+	// Hoisted out of the loop: &sh is passed to the per-device script
+	// calls, so an in-loop declaration escapes and reallocates every step.
+	var sh SharedStep
 	for k := 0; k < steps; k++ {
 		select {
 		case <-done:
@@ -302,7 +411,7 @@ func (r *Runner) RunBatch(ctx context.Context, opts []Options) ([]*Result, error
 
 		// Shared per-interval script evaluation: one phase lookup, one
 		// waveform modulation, one conditions read for the whole batch.
-		sh := scripts[0].SharedStep(elapsed)
+		sh = scripts[0].SharedStep(elapsed)
 		cond := sh.Cond
 		if cond.Governor != "" && cond.Governor != govName {
 			fresh, gerr := governor.ByNameN(cond.Governor, B)

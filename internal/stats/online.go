@@ -80,6 +80,14 @@ func (h *Histogram) Merge(o *Histogram) {
 // Count returns the number of samples folded in.
 func (h *Histogram) Count() uint64 { return h.N }
 
+// Reset zeroes the counts in place, keeping the shape and the bin backing —
+// the recycling hook for aggregator pools. A reset histogram is
+// indistinguishable from a fresh one of the same shape.
+func (h *Histogram) Reset() {
+	clear(h.Bins)
+	h.N = 0
+}
+
 // Quantile returns the q-th quantile (0..1) reconstructed from the bins:
 // the returned value lies within one bin width of the exact sample
 // quantile. Returns NaN for an empty histogram.

@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Class is the paper's comparative CPU-power category (Table 6.4).
@@ -144,12 +145,25 @@ func Table() []Benchmark {
 // errors.Is instead of string matching.
 var ErrUnknown = errors.New("unknown benchmark")
 
+// The benchmark table is immutable, so ByName serves lookups from a map
+// built once instead of materializing all 16 Benchmark values per call —
+// ByName sits on the fleet's per-cell setup path.
+var (
+	tableOnce   sync.Once
+	tableByName map[string]Benchmark
+)
+
 // ByName returns the named benchmark from Table().
 func ByName(name string) (Benchmark, error) {
-	for _, b := range Table() {
-		if b.Name == name {
-			return b, nil
+	tableOnce.Do(func() {
+		t := Table()
+		tableByName = make(map[string]Benchmark, len(t))
+		for _, b := range t {
+			tableByName[b.Name] = b
 		}
+	})
+	if b, ok := tableByName[name]; ok {
+		return b, nil
 	}
 	return Benchmark{}, fmt.Errorf("workload: %w %q", ErrUnknown, name)
 }
@@ -249,6 +263,19 @@ func NewBackgroundN(seed int64, n int) *Background {
 		level: flat[0:n:n],
 		out:   flat[n : 2*n : 2*n],
 	}
+}
+
+// Cores returns the per-core stream count the generator was built for.
+func (bg *Background) Cores() int { return len(bg.level) }
+
+// Reseed rewinds the generator to the state NewBackgroundN(seed, Cores())
+// produces — the recycling hook for batch arenas: the RNG restarts from
+// seed and the smoothed levels drop back to their zero initial state, so
+// the reseeded demand stream is bit-identical to a fresh generator's.
+func (bg *Background) Reseed(seed int64) {
+	bg.rng.Seed(seed)
+	clear(bg.level)
+	clear(bg.out)
 }
 
 // UtilAt returns the per-core background demand (fraction of RefCapacity)
