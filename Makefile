@@ -22,7 +22,7 @@ MIN_SPEEDUP ?= 1.4
 # stopped pooling, a slice that started escaping).
 MAX_BATCH_BYTES ?= 400000
 
-.PHONY: all build test race bench bench-json bench-baseline bench-ratio bench-record lint fmt fuzz cover api-check api-surface ci clean
+.PHONY: all build test race bench bench-json bench-baseline bench-ratio bench-record lint fmt fuzz cover api-check api-surface daemon-smoke ci clean
 
 # The hot-loop benchmarks whose allocs/op are engineered to be flat and
 # machine-independent; bench-json gates them against BENCH_baseline.json.
@@ -128,7 +128,14 @@ api-check:
 api-surface:
 	$(GO) doc -all . > docs/api-surface.txt
 
-ci: build lint api-check race bench bench-json bench-ratio fuzz cover
+# End-to-end daemon smoke through the real binaries: start reprod, run the
+# thin-client fleet CLI cold and warm against it (warm must be 100% store
+# hits), compare exports byte-for-byte with an in-process run, and drain
+# with SIGTERM (see scripts/daemon-smoke.sh).
+daemon-smoke:
+	./scripts/daemon-smoke.sh
+
+ci: build lint api-check race bench bench-json bench-ratio fuzz daemon-smoke cover
 
 clean:
 	rm -f bench.txt coverage.out BENCH_latest.json BENCH_throughput.json .api-surface.latest

@@ -19,17 +19,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/cli"
+	"repro/internal/client"
+	"repro/internal/controlapi"
 	"repro/internal/governor"
 	"repro/internal/platform"
 	"repro/internal/scenario"
@@ -39,6 +41,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fatal(err)
+	}
+}
+
+// run is main's testable body; errors come back for main to map onto exit
+// codes (the in-terminal exits — 130 on cancel, 1 on failed cells — stay
+// here because they are process-level contract, not library behavior).
+func run(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	var (
 		policies  = fs.String("policies", "dtpm", "comma-separated policies (with-fan,without-fan,reactive,dtpm)")
@@ -54,12 +65,14 @@ func main() {
 		jsonOut   = fs.String("json", "", "write the full report as JSON to this file")
 		csvOut    = fs.String("csv", "", "write one CSV row per cell to this file")
 		quiet     = fs.Bool("quiet", false, "suppress per-cell progress on stderr")
+		addr      = fs.String("addr", "", "submit to a reprod daemon at this address instead of running in-process")
+		tenant    = fs.String("tenant", "", "tenant name for daemon submissions (with -addr)")
 		list      = fs.Bool("list", false, "list benchmarks and policies, then exit")
 		storeDir  = fs.String("store", store.DefaultDir, "content-addressed result store directory")
 		noCache   = fs.Bool("no-cache", false, "disable the result store (compute every cell)")
 	)
-	if err := cli.ParseFlags(fs, os.Args[1:]); err != nil {
-		fatal(err)
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
 	}
 
 	if *list {
@@ -71,14 +84,14 @@ func main() {
 			pols = append(pols, p.String())
 		}
 		fmt.Println("policies:  ", strings.Join(pols, ", "))
-		return
+		return nil
 	}
 
 	// SIGINT/SIGTERM cancel the sweep: workers stop picking up cells,
 	// in-flight simulations abort between control intervals, and the
 	// partial report (completed cells intact) is still summarized and
 	// exported before exiting 130.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	// -platform is a convenience alias for a single-entry -platforms axis
@@ -86,13 +99,17 @@ func main() {
 	platAxis := *platforms
 	if *platAlias != "" {
 		if platAxis != "" {
-			fatal(fmt.Errorf("use -platforms or -platform, not both"))
+			return fmt.Errorf("use -platforms or -platform, not both")
 		}
 		platAxis = *platAlias
 	}
 	grid, err := buildGrid(*policies, *benches, *scenarios, platAxis, *governors, *seeds, *tmax)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+
+	if *addr != "" {
+		return runRemote(ctx, *addr, *tenant, grid, *baseSeed, *workers, *jsonOut, *csvOut, *quiet)
 	}
 
 	eng := &campaign.Engine{
@@ -102,7 +119,7 @@ func main() {
 	if !*noCache {
 		st, err := store.Open(*storeDir)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		eng.Store = st
 	}
@@ -111,12 +128,12 @@ func main() {
 	// but only when some cell will actually use that device. A sweep whose
 	// platform axis names only non-default profiles gets each of them
 	// characterized lazily inside the engine instead.
-	if gridUsesDefaultPlatform(grid) {
+	if grid.UsesDefaultPlatform() {
 		fmt.Fprintln(os.Stderr, "campaign: characterizing device (furnace + PRBS system identification)...")
 		runner := sim.NewRunner()
 		models, err := runner.Characterize(ctx, *baseSeed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		eng.Runner = runner
 		eng.Models = models
@@ -143,18 +160,18 @@ func main() {
 	}
 	cancelled := err != nil && cli.Cancelled(err)
 	if err != nil && !cancelled {
-		fatal(err)
+		return err
 	}
 
 	fmt.Print(rep.Summary())
 	if *jsonOut != "" {
 		if err := writeFile(*jsonOut, rep.WriteJSON); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *csvOut != "" {
 		if err := writeFile(*csvOut, rep.WriteCSV); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if cancelled {
@@ -164,25 +181,89 @@ func main() {
 	if len(rep.Failures()) > 0 {
 		os.Exit(1)
 	}
+	return nil
 }
 
 func fatal(err error) {
 	cli.Exit("campaign", err, "run `campaign -list` for the known names")
 }
 
-// gridUsesDefaultPlatform reports whether any cell of the grid will run on
-// the engine's default device (empty platform axis or an explicit default
-// entry).
-func gridUsesDefaultPlatform(g campaign.Grid) bool {
-	if len(g.Platforms) == 0 {
-		return true
+// runRemote is the -addr thin-client path: submit the grid to a reprod
+// daemon, mirror the in-process progress/store/summary output from the
+// event stream, fetch the byte-identical exports, and exit with the
+// in-process codes. Ctrl-C cancels the run server-side and the partial
+// report is still exported before exiting 130.
+func runRemote(ctx context.Context, addr, tenant string, grid campaign.Grid, baseSeed int64, workers int, jsonOut, csvOut string, quiet bool) error {
+	cl := client.New(addr)
+	cl.Tenant = tenant
+	gridJSON, err := json.Marshal(grid)
+	if err != nil {
+		return err
 	}
-	for _, p := range g.Platforms {
-		if p == "" || p == platform.DefaultName {
-			return true
+	fmt.Fprintf(os.Stderr, "campaign: running %d cells\n", grid.Size())
+	info, err := cl.SubmitCampaign(ctx, controlapi.SubmitRequest{Spec: gridJSON, Seed: baseSeed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	go func() {
+		<-ctx.Done()
+		cl.Cancel(context.Background(), info.ID)
+	}()
+	done, err := cl.Follow(context.Background(), info.ID, 0, func(ev controlapi.Event) error {
+		if quiet || ev.Type != controlapi.EventProgress {
+			return nil
+		}
+		status := "ok"
+		if ev.Err != "" {
+			status = "FAILED: " + ev.Err
+		}
+		fmt.Fprintf(os.Stderr, "campaign: [%d/%d] %s %s\n", ev.Done, ev.Total, ev.Cell, status)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if done.StoreDir != "" {
+		rate := 0.0
+		if done.Hits+done.Misses > 0 {
+			rate = float64(done.Hits) / float64(done.Hits+done.Misses)
+		}
+		fmt.Fprintf(os.Stderr, "campaign: store %s: %d hits, %d misses (%.0f%% hit rate)\n",
+			done.StoreDir, done.Hits, done.Misses, 100*rate)
+	}
+	if done.State == controlapi.StateFailed {
+		return errors.New(done.RunErr)
+	}
+	if done.Summary == "" && done.State == controlapi.StateCancelled {
+		fmt.Fprintln(os.Stderr, "campaign:", done.RunErr)
+		os.Exit(130)
+	}
+	fmt.Print(done.Summary)
+	writeRemote := func(format, path string) error {
+		b, err := cl.Report(context.Background(), info.ID, format)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, b, 0o644)
+	}
+	if jsonOut != "" {
+		if err := writeRemote("json", jsonOut); err != nil {
+			return err
 		}
 	}
-	return false
+	if csvOut != "" {
+		if err := writeRemote("csv", csvOut); err != nil {
+			return err
+		}
+	}
+	if done.State == controlapi.StateCancelled {
+		fmt.Fprintln(os.Stderr, "campaign:", done.RunErr)
+		os.Exit(130)
+	}
+	if done.Failures > 0 {
+		os.Exit(1)
+	}
+	return nil
 }
 
 // buildGrid parses the axis flags into a campaign grid.

@@ -54,13 +54,13 @@ func TestBuildGridAllExpansion(t *testing.T) {
 }
 
 func TestGridUsesDefaultPlatform(t *testing.T) {
-	if !gridUsesDefaultPlatform(campaign.Grid{}) {
+	if !(campaign.Grid{}).UsesDefaultPlatform() {
 		t.Error("empty platform axis should use the default device")
 	}
-	if !gridUsesDefaultPlatform(campaign.Grid{Platforms: []string{platform.DefaultName}}) {
+	if !(campaign.Grid{Platforms: []string{platform.DefaultName}}).UsesDefaultPlatform() {
 		t.Error("explicit default platform should use the default device")
 	}
-	if gridUsesDefaultPlatform(campaign.Grid{Platforms: []string{"fanless-phone"}}) {
+	if (campaign.Grid{Platforms: []string{"fanless-phone"}}).UsesDefaultPlatform() {
 		t.Error("non-default-only axis should not trigger the default characterization")
 	}
 }

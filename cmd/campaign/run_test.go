@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestRunInProcess drives the full command body — flag parsing, grid build,
+// engine run, exports — on a one-cell sweep that skips the default-device
+// characterization (non-default platform axis) to stay fast.
+func TestRunInProcess(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "sweep.json")
+	csvPath := filepath.Join(dir, "sweep.csv")
+	err := run([]string{
+		"-policies", "without-fan", "-benches", "dijkstra",
+		"-platforms", "fanless-phone", "-seeds", "1",
+		"-no-cache", "-quiet",
+		"-json", jsonPath, "-csv", csvPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Metrics == nil || !rep.Cells[0].Metrics.Completed {
+		t.Errorf("report cells: %+v", rep.Cells)
+	}
+	if b, err := os.ReadFile(csvPath); err != nil || len(b) == 0 {
+		t.Errorf("csv export: %d bytes, %v", len(b), err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"-policies", "warp-speed"},
+		{"-platform", "exynos5410", "-platforms", "exynos5410"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestWriteFileErrors(t *testing.T) {
+	if err := writeFile(filepath.Join(t.TempDir(), "no-such-dir", "x.json"), nil); err == nil {
+		t.Error("uncreatable path accepted")
+	}
+	boom := errors.New("render failed")
+	err := writeFile(filepath.Join(t.TempDir(), "x.json"), func(w io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("writer error not propagated: %v", err)
+	}
+}

@@ -16,13 +16,10 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"repro/internal/cli"
 	"repro/internal/platform"
@@ -58,7 +55,7 @@ func main() {
 
 	// SIGINT/SIGTERM cancel the context; the simulator stops between
 	// control intervals and returns the partial result.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	b, err := workload.ByName(*bench)

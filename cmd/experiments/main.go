@@ -13,13 +13,10 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
@@ -51,7 +48,7 @@ func main() {
 		fatal(err)
 	}
 
-	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := cli.SignalContext()
 	defer stop()
 
 	fmt.Fprintln(os.Stderr, "characterizing device (furnace + PRBS system identification)...")

@@ -21,23 +21,26 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"repro/internal/cli"
+	"repro/internal/client"
+	"repro/internal/controlapi"
 	"repro/internal/fleet"
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/version"
 )
 
 func main() {
@@ -45,7 +48,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 	var err error
 	switch os.Args[1] {
@@ -55,6 +58,9 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "replay-cell":
 		err = cmdReplayCell(ctx, os.Args[2:])
+	case "-version", "--version":
+		fmt.Println(version.Engine)
+		return
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -84,6 +90,10 @@ population flags (ignored when -spec is given):
   -freeze-workload         all devices share one workload realization
   -tmax C  -period S       thermal constraint / control period overrides
 run flags: -workers N  -seed N  -quiet  -json FILE  -csv FILE
+  -addr HOST:PORT          submit to a reprod daemon instead of running
+                           in-process (identical output bytes and exit codes;
+                           caching then happens server-side)
+  -tenant NAME             tenant queue for -addr submissions
   -cpuprofile FILE         write a CPU profile of the run (go tool pprof)
   -memprofile FILE         write a post-run heap profile
 store flags (run, replay-cell):
@@ -235,6 +245,8 @@ func cmdRun(ctx context.Context, args []string) error {
 		jsonOut    = fs.String("json", "", "write the aggregate report as JSON to this file")
 		csvOut     = fs.String("csv", "", "write one CSV row per group to this file")
 		quiet      = fs.Bool("quiet", false, "suppress per-device progress on stderr")
+		addr       = fs.String("addr", "", "submit to a reprod daemon at this address instead of running in-process")
+		tenant     = fs.String("tenant", "", "tenant name for daemon submissions (with -addr)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering the population run to this file")
 		memProfile = fs.String("memprofile", "", "write a post-run heap profile (after GC) to this file")
 	)
@@ -244,6 +256,12 @@ func cmdRun(ctx context.Context, args []string) error {
 	spec, err := sf.spec()
 	if err != nil {
 		return err
+	}
+	if *addr != "" {
+		if *cpuProfile != "" || *memProfile != "" {
+			return fmt.Errorf("-cpuprofile/-memprofile profile the in-process engine; drop -addr")
+		}
+		return runRemote(ctx, *addr, *tenant, spec, *baseSeed, *workers, *jsonOut, *csvOut, *quiet)
 	}
 	st, err := stf.open()
 	if err != nil {
@@ -310,6 +328,101 @@ func cmdRun(ctx context.Context, args []string) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// runRemote is the -addr thin-client path of `fleet run`: submit the spec
+// to a reprod daemon, mirror the in-process progress/store/summary output
+// from the event stream (the daemon pre-renders every line's fields, so
+// the bytes match), fetch the byte-identical report exports, and exit with
+// the in-process codes. Ctrl-C cancels the run server-side and then keeps
+// following: the daemon finalizes it with a partial report, exactly like
+// the in-process engine, and the client exits 130 after exporting it.
+func runRemote(ctx context.Context, addr, tenant string, spec fleet.Spec, baseSeed int64, workers int, jsonOut, csvOut string, quiet bool) error {
+	cl := client.New(addr)
+	cl.Tenant = tenant
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleet: simulating %d devices\n", spec.N)
+	info, err := cl.SubmitFleet(ctx, controlapi.SubmitRequest{Spec: specJSON, Seed: baseSeed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	// Follow on a background context: an interrupt must not sever the
+	// stream — it cancels the run server-side, and the stream then delivers
+	// the partial run's done event.
+	go func() {
+		<-ctx.Done()
+		cl.Cancel(context.Background(), info.ID)
+	}()
+	done, err := cl.Follow(context.Background(), info.ID, 0, func(ev controlapi.Event) error {
+		if quiet || ev.Type != controlapi.EventProgress {
+			return nil
+		}
+		status := "ok"
+		switch {
+		case ev.Err != "":
+			status = "FAILED: " + ev.Err
+		case ev.Cached:
+			status = "cached"
+		}
+		fmt.Fprintf(os.Stderr, "fleet: [%d/%d] %s %s\n", ev.Done, ev.Total, ev.Cell, status)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if done.StoreDir != "" {
+		fmt.Fprintf(os.Stderr, "fleet: store %s: %d hits, %d misses (%.0f%% hit rate)\n",
+			done.StoreDir, done.Hits, done.Misses, 100*hitRate(done.Hits, done.Misses))
+	}
+	if done.State == controlapi.StateFailed {
+		return errors.New(done.RunErr)
+	}
+	// A run cancelled before any cell could start has no report — mirror
+	// the in-process "cancelled during characterization" exit.
+	if done.Summary == "" && done.State == controlapi.StateCancelled {
+		fmt.Fprintln(os.Stderr, "fleet:", done.RunErr)
+		os.Exit(130)
+	}
+	fmt.Print(done.Summary)
+	if jsonOut != "" {
+		if err := fetchReport(cl, info.ID, "json", jsonOut); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		if err := fetchReport(cl, info.ID, "csv", csvOut); err != nil {
+			return err
+		}
+	}
+	if done.State == controlapi.StateCancelled {
+		fmt.Fprintln(os.Stderr, "fleet:", done.RunErr)
+		os.Exit(130)
+	}
+	if done.Failures > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// hitRate mirrors store.Stats.HitRate for the daemon's per-run counters.
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// fetchReport downloads one rendered export into a local file — the same
+// bytes the in-process path writes, served from the daemon.
+func fetchReport(cl *client.Client, id, format, path string) error {
+	b, err := cl.Report(context.Background(), id, format)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func cmdReport(args []string) error {

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// TestRunRemote drives the -addr thin-client path against an in-process
+// daemon and checks the acceptance contract: the exported files are
+// byte-identical to an in-process engine run of the same spec.
+func TestRunRemote(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := fleet.Spec{
+		Name:           "remote-test",
+		N:              6,
+		ControlPeriodS: 0.5,
+		Scenarios: []fleet.Weight{
+			{Name: "cold-start", Weight: 2},
+			{Name: "bursty-interactive", Weight: 1},
+		},
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "r.json")
+	csvPath := filepath.Join(dir, "r.csv")
+	if err := runRemote(context.Background(), ts.URL, "team-a", spec, 11, 2, jsonPath, csvPath, true); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := &fleet.Engine{BaseSeed: 11, Workers: 2}
+	rep, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSON, wantCSV bytes.Buffer
+	if err := rep.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		path string
+		want []byte
+	}{{jsonPath, wantJSON.Bytes()}, {csvPath, wantCSV.Bytes()}} {
+		got, err := os.ReadFile(f.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, f.want) {
+			t.Errorf("%s differs from in-process export (%d vs %d bytes)", f.path, len(got), len(f.want))
+		}
+	}
+}
+
+func TestRunRemoteRejectsBadDaemon(t *testing.T) {
+	if err := runRemote(context.Background(), "127.0.0.1:1", "", fleet.Spec{N: 1}, 1, 0, "", "", true); err == nil {
+		t.Error("unreachable daemon reported success")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if got := hitRate(0, 0); got != 0 {
+		t.Errorf("hitRate(0,0) = %v, want 0", got)
+	}
+	if got := hitRate(3, 1); got != 0.75 {
+		t.Errorf("hitRate(3,1) = %v, want 0.75", got)
+	}
+}

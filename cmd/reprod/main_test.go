@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controlapi"
+)
+
+// logBuffer is a concurrency-safe stderr sink: the test reads it while the
+// daemon goroutine writes it.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`reprod: listening on (\S+)`)
+
+// TestRunServesAndDrains boots the daemon body on an ephemeral port, runs
+// one fleet through it end to end, cancels the context (the signal path),
+// and expects a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	var stderr logBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	restored := false
+	exited := make(chan error, 1)
+	go func() {
+		exited <- run(ctx, func() { restored = true }, []string{
+			"-listen", "127.0.0.1:0",
+			"-store", filepath.Join(t.TempDir(), "store"),
+			"-workers", "2",
+			"-drain-timeout", "30s",
+		}, &stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if m := listenLine.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-exited:
+			t.Fatalf("daemon exited during startup: %v\n%s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cl := client.New(addr)
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.API != controlapi.APIVersion {
+		t.Fatalf("health = %+v", h)
+	}
+
+	spec, err := json.Marshal(map[string]any{
+		"n": 2, "control_period_s": 0.5, "scenarios": []map[string]any{{"name": "cold-start", "weight": 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.SubmitFleet(ctx, controlapi.SubmitRequest{Spec: spec, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cl.Follow(ctx, info.ID, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != controlapi.StateSucceeded || done.Completed != 2 {
+		t.Fatalf("run ended %s completed=%d", done.State, done.Completed)
+	}
+
+	cancel() // the SIGTERM path
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain:\n%s", stderr.String())
+	}
+	if !restored {
+		t.Error("drain did not restore default signal handling")
+	}
+	log := stderr.String()
+	for _, want := range []string{"draining", "drained, exiting"} {
+		if !bytes.Contains([]byte(log), []byte(want)) {
+			t.Errorf("drain log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestRunFlagAndListenErrors(t *testing.T) {
+	var stderr logBuffer
+	ctx := context.Background()
+	if err := run(ctx, func() {}, []string{"-definitely-not-a-flag"}, &stderr); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(ctx, func() {}, []string{"-listen", "256.0.0.1:bogus", "-no-cache"}, &stderr); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -29,14 +29,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro/internal/cli"
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 func main() {
@@ -46,7 +45,7 @@ func main() {
 	}
 	// SIGINT/SIGTERM cancel the context; runs stop between control
 	// intervals and the process exits with the conventional 130.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 	var err error
 	switch os.Args[1] {
@@ -62,6 +61,9 @@ func main() {
 		err = cmdReplay(ctx, os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "-version", "--version":
+		fmt.Println(version.Engine)
+		return
 	case "-h", "--help", "help":
 		usage()
 		return

@@ -14,13 +14,10 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"repro/internal/cli"
 	"repro/internal/platform"
@@ -40,7 +37,7 @@ func main() {
 		cli.Exit("sysident", err, "")
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	runner := sim.NewRunner()

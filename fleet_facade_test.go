@@ -128,3 +128,57 @@ func TestReplayFleetCellFacade(t *testing.T) {
 		t.Errorf("replay ran %q, cell declares scenario %q", res.Bench, cfg.Scenario)
 	}
 }
+
+// TestParseFleetSpecFacade: the facade parser is the same strict decoder
+// the engine and daemon use.
+func TestParseFleetSpecFacade(t *testing.T) {
+	spec, err := ParseFleetSpec([]byte(`{"n":2,"control_period_s":0.5,"scenarios":[{"name":"cold-start","weight":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 2 {
+		t.Errorf("parsed n=%d", spec.N)
+	}
+	if _, err := ParseFleetSpec([]byte(`{"n":2,"warp":9}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestFleetOptionsFacade: WithBatchSize and WithStore tune execution
+// without changing report bytes, and a warm re-run is served from the store.
+func TestFleetOptionsFacade(t *testing.T) {
+	dev := NewDevice()
+	spec := facadeFleetSpec()
+	plain, err := dev.RunFleet(context.Background(), spec, nil, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tuned, err := dev.RunFleet(context.Background(), spec, nil, 2, 9,
+		WithBatchSize(2), WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := plain.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuned.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("options changed report bytes")
+	}
+	// Warm re-run against the same store: byte-identical again.
+	warm, err := dev.RunFleet(context.Background(), spec, nil, 2, 9, WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := warm.WriteJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("warm store run changed report bytes")
+	}
+}

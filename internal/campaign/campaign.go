@@ -109,6 +109,22 @@ func (g Grid) normalized() Grid {
 	return g
 }
 
+// UsesDefaultPlatform reports whether any cell of the grid will run on the
+// engine's own device (an empty platform axis or an explicit default
+// entry) — the case where a caller that wants DTPM cells to work must
+// supply (or characterize) the anchor device's models up front.
+func (g Grid) UsesDefaultPlatform() bool {
+	if len(g.Platforms) == 0 {
+		return true
+	}
+	for _, p := range g.Platforms {
+		if p == "" || p == platform.DefaultName {
+			return true
+		}
+	}
+	return false
+}
+
 // Size returns the number of cells in the grid.
 func (g Grid) Size() int {
 	g = g.normalized()
@@ -268,6 +284,10 @@ type CellResult struct {
 	Cell    Cell     `json:"cell"`
 	Metrics *Metrics `json:"metrics,omitempty"`
 	Err     string   `json:"error,omitempty"`
+	// Cached reports that the cell was served from the result store instead
+	// of being simulated. Telemetry only — cached metrics are byte-identical
+	// to computed ones, so the field is excluded from exports.
+	Cached bool `json:"-"`
 }
 
 // Report is a completed campaign in cell-index order. It contains only
@@ -532,7 +552,7 @@ func (e *Engine) runCell(ctx context.Context, c Cell) CellResult {
 		if key, rc, ok := e.cellStoreKey(c); ok {
 			var m Metrics
 			if e.Store.GetJSON(key, &m) {
-				done := CellResult{Cell: rc, Metrics: &m}
+				done := CellResult{Cell: rc, Metrics: &m, Cached: true}
 				e.notify(done)
 				return done
 			}

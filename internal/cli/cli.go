@@ -10,12 +10,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM — the one
+// lifecycle every command shares: runs stop between control intervals,
+// partial results are still reported, and the process exits through the
+// conventional codes (130 for an interrupt). Call the returned stop
+// function on the way out to restore default signal handling.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
 
 // ErrUsage marks a command-line usage error — a flag that failed to parse,
 // a missing operand, contradictory options. Exit maps anything wrapping it
@@ -29,9 +41,22 @@ var ErrUsage = errors.New("usage error")
 // must have been constructed with flag.ContinueOnError — with ExitOnError
 // the error path is dead code, which is exactly the bug class this helper
 // removes.
+//
+// Every FlagSet routed through here also gains a -version flag that prints
+// the engine version (version.Engine, the same string in every store key
+// and daemon handshake) and exits 0 — one registration point instead of a
+// per-command copy.
 func ParseFlags(fs *flag.FlagSet, args []string) error {
+	var ver *bool
+	if fs.Lookup("version") == nil {
+		ver = fs.Bool("version", false, "print the engine version and exit")
+	}
 	err := fs.Parse(args)
 	if err == nil {
+		if ver != nil && *ver {
+			fmt.Println(version.Engine)
+			os.Exit(0)
+		}
 		return nil
 	}
 	if errors.Is(err, flag.ErrHelp) {

@@ -1,0 +1,287 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/controlapi"
+	"repro/internal/version"
+)
+
+func TestNewAddsScheme(t *testing.T) {
+	if got := New("127.0.0.1:7070").BaseURL; got != "http://127.0.0.1:7070" {
+		t.Errorf("bare host: %q", got)
+	}
+	if got := New("https://daemon.example/").BaseURL; got != "https://daemon.example" {
+		t.Errorf("explicit scheme: %q", got)
+	}
+}
+
+// stamp wraps a handler so every response carries the engine header, like
+// the real server middleware.
+func stamp(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set(controlapi.EngineHeader, version.Engine)
+		h(w, req)
+	})
+}
+
+func TestTypedErrorDecoding(t *testing.T) {
+	ts := httptest.NewServer(stamp(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(controlapi.ErrorEnvelope{Error: &controlapi.Error{
+			Code: controlapi.CodeQueueFull, Message: "full", RetryAfterS: 3,
+		}})
+	}))
+	defer ts.Close()
+	_, err := New(ts.URL).SubmitFleet(context.Background(), controlapi.SubmitRequest{Spec: []byte(`{}`)})
+	if !errors.Is(err, controlapi.ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	var apiErr *controlapi.Error
+	if !errors.As(err, &apiErr) || apiErr.RetryAfterS != 3 {
+		t.Errorf("retry hint not decoded: %+v", apiErr)
+	}
+
+	// An undecodable error body still fails, with the HTTP status.
+	broken := httptest.NewServer(stamp(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, "<html>oops</html>")
+	}))
+	defer broken.Close()
+	if _, err := New(broken.URL).Runs(context.Background()); err == nil {
+		t.Error("undecodable error body reported success")
+	}
+}
+
+func TestHealthExemptFromHandshake(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set(controlapi.EngineHeader, "repro-engine/999")
+		if req.URL.Path != "/v1/healthz" {
+			w.WriteHeader(http.StatusConflict)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true,"state":"ok","engine":"repro-engine/999","api":"v1"}`)
+	}))
+	defer ts.Close()
+	cl := New(ts.URL)
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health across engine versions: %v", err)
+	}
+	if h.Engine != "repro-engine/999" {
+		t.Errorf("health engine %q", h.Engine)
+	}
+	if _, err := cl.Runs(context.Background()); !errors.Is(err, controlapi.ErrVersionMismatch) {
+		t.Errorf("non-healthz route: %v, want ErrVersionMismatch", err)
+	}
+}
+
+// streamStub serves a run's event log in scripted segments: request k gets
+// segments[k] (events encoded as NDJSON), then a clean EOF. It also serves
+// the run info endpoint.
+type streamStub struct {
+	mu       sync.Mutex
+	segments [][]controlapi.Event
+	requests int
+	info     controlapi.RunInfo
+}
+
+func (s *streamStub) handler() http.Handler {
+	return stamp(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Path {
+		case "/v1/runs/r1/stream":
+			s.mu.Lock()
+			var seg []controlapi.Event
+			if s.requests < len(s.segments) {
+				seg = s.segments[s.requests]
+			}
+			s.requests++
+			s.mu.Unlock()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			for _, ev := range seg {
+				enc.Encode(ev)
+			}
+		case "/v1/runs/r1":
+			json.NewEncoder(w).Encode(s.info)
+		default:
+			http.NotFound(w, req)
+		}
+	})
+}
+
+func progressEv(seq int64) controlapi.Event {
+	return controlapi.Event{Seq: seq, Type: controlapi.EventProgress, Done: int(seq), Total: 3}
+}
+
+// TestFollowReconnects: a stream that drops before the done event is
+// reattached from the last cursor, and the client sees every event exactly
+// once.
+func TestFollowReconnects(t *testing.T) {
+	doneEv := controlapi.Event{Seq: 4, Type: controlapi.EventDone, State: controlapi.StateSucceeded}
+	stub := &streamStub{
+		segments: [][]controlapi.Event{
+			{progressEv(1), progressEv(2)},
+			// The reconnect replays event 2 (the server streams from the
+			// cursor the client holds after a mid-event drop would rewind);
+			// the client must dedupe it.
+			{progressEv(2), progressEv(3), doneEv},
+		},
+		info: controlapi.RunInfo{ID: "r1", State: controlapi.StateRunning, NextSeq: 2},
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	var seen []int64
+	done, err := New(ts.URL).Follow(context.Background(), "r1", 0, func(ev controlapi.Event) error {
+		seen = append(seen, ev.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != controlapi.StateSucceeded {
+		t.Errorf("done state %q", done.State)
+	}
+	want := []int64{1, 2, 3, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("saw seqs %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("saw seqs %v, want %v (loss or duplication)", seen, want)
+		}
+	}
+	if stub.requests != 2 {
+		t.Errorf("stream requested %d times, want 2", stub.requests)
+	}
+}
+
+// TestFollowRecoversDoneAfterCursor: a client that reattaches past the
+// done event (its cursor already covers the whole log) still gets the done
+// record back.
+func TestFollowRecoversDoneAfterCursor(t *testing.T) {
+	doneEv := controlapi.Event{Seq: 3, Type: controlapi.EventDone, State: controlapi.StateCancelled, RunErr: "cancelled"}
+	stub := &streamStub{
+		// First attach from cursor 3: the server has nothing newer, clean
+		// EOF. Follow consults the run info, sees a terminal run whose log
+		// the cursor covers, and re-reads the final event.
+		segments: [][]controlapi.Event{{}, {doneEv}},
+		info:     controlapi.RunInfo{ID: "r1", State: controlapi.StateCancelled, NextSeq: 3},
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	done, err := New(ts.URL).Follow(context.Background(), "r1", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != controlapi.StateCancelled || done.RunErr != "cancelled" {
+		t.Errorf("recovered done = %+v", done)
+	}
+}
+
+// TestFollowGivesUp: a server that keeps ending the stream with no
+// progress and no terminal state exhausts the retry budget.
+func TestFollowGivesUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the reconnect backoff")
+	}
+	stub := &streamStub{
+		info: controlapi.RunInfo{ID: "r1", State: controlapi.StateRunning},
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+	if _, err := New(ts.URL).Follow(context.Background(), "r1", 0, nil); err == nil {
+		t.Fatal("Follow returned without a done event or an error")
+	}
+	if stub.requests <= followRetries {
+		t.Errorf("gave up after %d attempts, want > %d", stub.requests, followRetries)
+	}
+}
+
+func TestStreamDropsEventsAtOrBelowCursor(t *testing.T) {
+	doneEv := controlapi.Event{Seq: 4, Type: controlapi.EventDone, State: controlapi.StateSucceeded}
+	stub := &streamStub{
+		segments: [][]controlapi.Event{{progressEv(1), progressEv(2), progressEv(3), doneEv}},
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	var seen []int64
+	cursor, done, err := New(ts.URL).Stream(context.Background(), "r1", 2, func(ev controlapi.Event) error {
+		seen = append(seen, ev.Seq)
+		return nil
+	})
+	if err != nil || done == nil {
+		t.Fatalf("stream: done=%v err=%v", done, err)
+	}
+	if cursor != 4 || len(seen) != 2 || seen[0] != 3 || seen[1] != 4 {
+		t.Errorf("cursor %d, seen %v; want 4 and [3 4]", cursor, seen)
+	}
+}
+
+func TestRequestResponseMethods(t *testing.T) {
+	ts := httptest.NewServer(stamp(func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method + " " + req.URL.Path {
+		case "POST /v1/campaigns":
+			json.NewEncoder(w).Encode(controlapi.RunInfo{ID: "r7", Kind: controlapi.KindCampaign})
+		case "DELETE /v1/runs/r7":
+			json.NewEncoder(w).Encode(controlapi.RunInfo{ID: "r7", State: controlapi.StateCancelled})
+		case "GET /v1/runs/r7/report":
+			w.Header().Set("Content-Type", "text/csv")
+			fmt.Fprint(w, "a,b\n1,2\n")
+		default:
+			http.NotFound(w, req)
+		}
+	}))
+	defer ts.Close()
+	cl := New(ts.URL)
+	ctx := context.Background()
+
+	info, err := cl.SubmitCampaign(ctx, controlapi.SubmitRequest{Spec: []byte(`{}`)})
+	if err != nil || info.ID != "r7" || info.Kind != controlapi.KindCampaign {
+		t.Fatalf("SubmitCampaign: %+v, %v", info, err)
+	}
+	if err := cl.Cancel(ctx, "r7"); err != nil {
+		t.Errorf("Cancel: %v", err)
+	}
+	b, err := cl.Report(ctx, "r7", "csv")
+	if err != nil || string(b) != "a,b\n1,2\n" {
+		t.Errorf("Report: %q, %v", b, err)
+	}
+
+	// A 2xx submit whose body is not a RunInfo is still an error.
+	junk := httptest.NewServer(stamp(func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprint(w, "not json")
+	}))
+	defer junk.Close()
+	if _, err := New(junk.URL).SubmitFleet(ctx, controlapi.SubmitRequest{Spec: []byte(`{}`)}); err == nil {
+		t.Error("undecodable run info reported success")
+	}
+}
+
+func TestTenantHeaderSent(t *testing.T) {
+	var got string
+	ts := httptest.NewServer(stamp(func(w http.ResponseWriter, req *http.Request) {
+		got = req.Header.Get(controlapi.TenantHeader)
+		fmt.Fprint(w, `{"engine":"x","runs":[]}`)
+	}))
+	defer ts.Close()
+	cl := New(ts.URL)
+	cl.Tenant = "team-a"
+	if _, err := cl.Runs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != "team-a" {
+		t.Errorf("tenant header %q, want team-a", got)
+	}
+}

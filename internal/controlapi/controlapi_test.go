@@ -1,0 +1,63 @@
+package controlapi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/version"
+)
+
+func TestErrorSentinelMapping(t *testing.T) {
+	cases := []struct {
+		code     string
+		sentinel error
+	}{
+		{CodeVersionMismatch, ErrVersionMismatch},
+		{CodeQueueFull, ErrQueueFull},
+		{CodeDraining, ErrDraining},
+		{CodeNotFound, ErrNotFound},
+		{CodeInvalidSpec, ErrInvalidSpec},
+	}
+	for _, c := range cases {
+		err := fmt.Errorf("wrapped: %w", &Error{Code: c.code, Message: "m"})
+		if !errors.Is(err, c.sentinel) {
+			t.Errorf("code %q does not match its sentinel", c.code)
+		}
+		for _, other := range cases {
+			if other.code != c.code && errors.Is(err, other.sentinel) {
+				t.Errorf("code %q matches sentinel of %q", c.code, other.code)
+			}
+		}
+	}
+	if errors.Is(&Error{Code: CodeBadRequest}, ErrNotFound) {
+		t.Error("bad_request matched an unrelated sentinel")
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	e := &Error{Code: CodeQueueFull, Message: "tenant full"}
+	if got := e.Error(); !strings.Contains(got, CodeQueueFull) || !strings.Contains(got, "tenant full") {
+		t.Errorf("Error() = %q, want code and message", got)
+	}
+}
+
+func TestTerminalState(t *testing.T) {
+	for _, s := range []string{StateSucceeded, StateFailed, StateCancelled} {
+		if !TerminalState(s) {
+			t.Errorf("%s should be terminal", s)
+		}
+	}
+	for _, s := range []string{StateQueued, StateRunning, ""} {
+		if TerminalState(s) {
+			t.Errorf("%q should not be terminal", s)
+		}
+	}
+}
+
+func TestEngine(t *testing.T) {
+	if Engine() != version.Engine {
+		t.Errorf("Engine() = %q, want %q", Engine(), version.Engine)
+	}
+}

@@ -33,15 +33,18 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"repro/internal/version"
 )
 
 // EngineVersion names the simulation-engine generation whose outputs the
 // store holds. It participates in every key AND is checked in every entry
-// header: bump it whenever any change alters the byte output of a cell
-// (simulation numerics, aggregation, serialization formats), and every
-// existing entry becomes stale — detected on read, recomputed on demand —
-// without a migration.
-const EngineVersion = "repro-engine/7"
+// header: bump it (in internal/version, the single shared declaration —
+// the control API's client handshake checks the same constant) whenever
+// any change alters the byte output of a cell (simulation numerics,
+// aggregation, serialization formats), and every existing entry becomes
+// stale — detected on read, recomputed on demand — without a migration.
+const EngineVersion = version.Engine
 
 // entryFormat versions the on-disk entry layout itself (header framing,
 // digest algorithm). Distinct from EngineVersion: a format bump invalidates

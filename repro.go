@@ -50,8 +50,17 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
+
+// EngineVersion names the simulation-engine generation this build produces
+// bytes for (e.g. "repro-engine/7"). It is the provenance string in every
+// result-store key and entry header, the version every daemon API envelope
+// carries, and the handshake the daemon rejects mismatched clients on —
+// all three consume the one shared constant, so they can never drift.
+// Every CLI prints it under -version.
+const EngineVersion = version.Engine
 
 // Policy selects the thermal-management configuration of §6.2.
 type Policy = sim.Policy
