@@ -22,7 +22,7 @@ MIN_SPEEDUP ?= 1.4
 # stopped pooling, a slice that started escaping).
 MAX_BATCH_BYTES ?= 400000
 
-.PHONY: all build test race bench bench-json bench-baseline bench-ratio bench-record lint fmt fuzz cover api-check api-surface daemon-smoke ci clean
+.PHONY: all build test race bench bench-json bench-baseline bench-ratio bench-record lint fmt fuzz cover api-check api-surface daemon-smoke soak soak-smoke ci clean
 
 # The hot-loop benchmarks whose allocs/op are engineered to be flat and
 # machine-independent; bench-json gates them against BENCH_baseline.json.
@@ -135,7 +135,33 @@ api-surface:
 daemon-smoke:
 	./scripts/daemon-smoke.sh
 
-ci: build lint api-check race bench bench-json bench-ratio fuzz daemon-smoke cover
+# Soak/stress harness (internal/soak, docs/soak.md): seeded randomized
+# multi-tenant traffic against a live daemon plus the in-process engines,
+# with leak, drift, and determinism invariants enforced after every traffic
+# window and a host-provenance artifact archived under benchmarks/results.
+# soak-smoke is the CI shape: >= 50 randomized ops under the race detector
+# in ~10 s. soak is the long form — size it with the SOAK_* knobs below
+# (wall time scales linearly with SOAK_WINDOWS); capture profiles with
+# SOAK_PPROF=heap:cpu. Reproduce any failure by re-running with the seed
+# the harness logs.
+SOAK_SEED ?= 1
+SOAK_WINDOWS ?= 60
+SOAK_TENANTS ?= 4
+SOAK_OPS ?= 6
+SOAK_PPROF ?=
+SOAK_RESULT_DIR ?= $(CURDIR)/benchmarks/results
+
+soak-smoke:
+	SOAK=1 SOAK_RESULT_DIR=$(SOAK_RESULT_DIR) SOAK_PPROF=$(SOAK_PPROF) \
+		$(GO) test -race -run '^TestSoakSmoke$$' -count=1 -v ./internal/soak
+
+soak:
+	SOAK=1 SOAK_SEED=$(SOAK_SEED) SOAK_WINDOWS=$(SOAK_WINDOWS) \
+		SOAK_TENANTS=$(SOAK_TENANTS) SOAK_OPS=$(SOAK_OPS) \
+		SOAK_RESULT_DIR=$(SOAK_RESULT_DIR) SOAK_PPROF=$(SOAK_PPROF) \
+		$(GO) test -race -run '^TestSoakSmoke$$' -count=1 -timeout 12h -v ./internal/soak
+
+ci: build lint api-check race bench bench-json bench-ratio fuzz daemon-smoke soak-smoke cover
 
 clean:
 	rm -f bench.txt coverage.out BENCH_latest.json BENCH_throughput.json .api-surface.latest

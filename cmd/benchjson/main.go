@@ -44,14 +44,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/hostinfo"
 )
 
 // Entry is one benchmark measurement.
@@ -66,15 +65,10 @@ type Entry struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Host records where a benchmark run was measured. Absolute numbers are
+// Host records where a benchmark run was measured (shared with every
+// other artifact producer via internal/hostinfo). Absolute numbers are
 // only comparable within one Host; ratios travel.
-type Host struct {
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
-	GoVersion string `json:"go_version"`
-	CPUModel  string `json:"cpu_model,omitempty"`
-}
+type Host = hostinfo.Host
 
 // File is the artifact schema.
 type File struct {
@@ -382,37 +376,8 @@ func runMaxBytes(path, spec string) error {
 func writeRecord(dir string, f *File) (string, error) {
 	now := time.Now().UTC()
 	f.RecordedAt = now.Format(time.RFC3339)
-	f.Host = &Host{
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		GoVersion: runtime.Version(),
-		CPUModel:  cpuModel(),
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
-	}
-	path := filepath.Join(dir, now.Format("20060102T150405Z")+".json")
-	enc, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		return "", err
-	}
-	return path, os.WriteFile(path, append(enc, '\n'), 0o644)
-}
-
-// cpuModel best-effort reads the CPU model name; empty when the platform
-// does not expose /proc/cpuinfo (the record is still useful without it).
-func cpuModel() string {
-	data, err := os.ReadFile("/proc/cpuinfo")
-	if err != nil {
-		return ""
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
-			return strings.TrimSpace(v)
-		}
-	}
-	return ""
+	f.Host = hostinfo.Collect()
+	return hostinfo.WriteTimestamped(dir, "", now, f)
 }
 
 func load(path string) (*File, error) {

@@ -19,6 +19,7 @@
 //	reprod                          # listen on 127.0.0.1:7070, default store
 //	reprod -listen :7070 -workers 8
 //	reprod -store /var/cache/repro -max-active 2 -queue-depth 16
+//	reprod -history-limit 128 -history-ttl 15m   # bound finished-run retention
 package main
 
 import (
@@ -59,6 +60,8 @@ func run(ctx context.Context, restoreSignals func(), args []string, stderr io.Wr
 		workers    = fs.Int("workers", 0, "default per-run worker pool size (0 = GOMAXPROCS)")
 		maxActive  = fs.Int("max-active", server.DefaultMaxActive, "global limit on concurrently executing runs")
 		queueDepth = fs.Int("queue-depth", server.DefaultQueueDepth, "per-tenant queue capacity (full queues get 429)")
+		histLimit  = fs.Int("history-limit", server.DefaultHistoryLimit, "max finished runs retained for reports/reattach (negative = unlimited)")
+		histTTL    = fs.Duration("history-ttl", server.DefaultHistoryTTL, "how long finished runs are retained (negative = no age limit)")
 		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight runs to finalize")
 	)
 	if err := cli.ParseFlags(fs, args); err != nil {
@@ -66,9 +69,11 @@ func run(ctx context.Context, restoreSignals func(), args []string, stderr io.Wr
 	}
 
 	cfg := server.Config{
-		Workers:    *workers,
-		MaxActive:  *maxActive,
-		QueueDepth: *queueDepth,
+		Workers:      *workers,
+		MaxActive:    *maxActive,
+		QueueDepth:   *queueDepth,
+		HistoryLimit: *histLimit,
+		HistoryTTL:   *histTTL,
 	}
 	if !*noCache {
 		st, err := store.Open(*storeDir)

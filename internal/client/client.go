@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -84,7 +85,7 @@ func (c *Client) do(ctx context.Context, method, path string, body any) (*http.R
 	// Healthz is exempt from the handshake on both sides: it is how a
 	// mismatched client discovers what the server runs.
 	if got := resp.Header.Get(controlapi.EngineHeader); got != "" && got != version.Engine && path != "/v1/healthz" {
-		resp.Body.Close()
+		drainClose(resp)
 		return nil, &controlapi.Error{
 			Code:    controlapi.CodeVersionMismatch,
 			Message: fmt.Sprintf("server engine %q, client engine %q", got, version.Engine),
@@ -92,10 +93,23 @@ func (c *Client) do(ctx context.Context, method, path string, body any) (*http.R
 		}
 	}
 	if resp.StatusCode/100 != 2 {
-		defer resp.Body.Close()
-		return nil, decodeError(resp)
+		err := decodeError(resp)
+		drainClose(resp)
+		return nil, err
 	}
 	return resp, nil
+}
+
+// drainClose consumes what is left of a response body (bounded) and
+// closes it, returning the close error. Reading to EOF before Close is
+// what lets the transport reuse the keep-alive connection — under the
+// soak harness's reconnect churn, a closed-but-undrained body per
+// request turns into a new TCP connection (and its read/write
+// goroutines) per request, exactly the slow leak the goroutine baseline
+// would flag. Every non-streaming request path ends here.
+func drainClose(resp *http.Response) error {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	return resp.Body.Close()
 }
 
 // decodeError turns a non-2xx response into the typed wire error.
@@ -113,8 +127,11 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	return json.NewDecoder(resp.Body).Decode(out)
+	err = json.NewDecoder(resp.Body).Decode(out)
+	if cerr := drainClose(resp); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Health fetches /v1/healthz. It works across engine versions — the
@@ -143,9 +160,12 @@ func (c *Client) submit(ctx context.Context, path string, req controlapi.SubmitR
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
 	var info controlapi.RunInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	if cerr := drainClose(resp); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return nil, fmt.Errorf("client: decoding run info: %w", err)
 	}
 	return &info, nil
@@ -177,8 +197,7 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	if err != nil {
 		return err
 	}
-	resp.Body.Close()
-	return nil
+	return drainClose(resp)
 }
 
 // Report fetches a terminal run's rendered export ("json" or "csv") — the
@@ -189,8 +208,11 @@ func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	return io.ReadAll(resp.Body)
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return b, err
 }
 
 // Stream attaches one connection to a run's event stream from the cursor
@@ -210,7 +232,11 @@ func (c *Client) Stream(ctx context.Context, id string, cursor int64, fn func(co
 		var ev controlapi.Event
 		if err := dec.Decode(&ev); err != nil {
 			if err == io.EOF {
-				return cursor, nil, nil
+				// Clean end without a done event. The close error matters
+				// here: a torn connection can masquerade as EOF, and
+				// surfacing it routes Follow onto its reconnect path
+				// instead of the "server ended a terminal stream" path.
+				return cursor, nil, resp.Body.Close()
 			}
 			return cursor, nil, fmt.Errorf("client: decoding stream: %w", err)
 		}
@@ -251,6 +277,13 @@ func (c *Client) Follow(ctx context.Context, id string, cursor int64, fn func(co
 		}
 		if err != nil && ctx.Err() != nil {
 			return controlapi.Event{}, context.Cause(ctx)
+		}
+		if errors.Is(err, controlapi.ErrNotFound) {
+			// The run is gone for good — never submitted, or evicted by
+			// the server's bounded run-history retention. Reconnecting
+			// cannot bring it back; fail fast instead of burning the
+			// retry budget against a permanent 404.
+			return controlapi.Event{}, err
 		}
 		if err == nil {
 			// Clean EOF without a done event: the server ended the stream

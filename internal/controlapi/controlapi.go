@@ -50,7 +50,13 @@ const (
 	// CodeDraining: the server is shutting down and admits no new runs.
 	// HTTP 503.
 	CodeDraining = "draining"
-	// CodeNotFound: no such run (or it has been evicted). HTTP 404.
+	// CodeNotFound: no such run — never submitted, or a terminal run the
+	// bounded run-history retention has evicted (the server keeps at most
+	// its configured count of finished runs, none older than its TTL). A
+	// client that held a valid run ID and now sees not_found must treat
+	// the run as gone for good and resubmit; reattaching a stream to an
+	// evicted run yields this same typed error, not a hung stream.
+	// HTTP 404.
 	CodeNotFound = "not_found"
 	// CodeInvalidSpec: the submitted spec failed strict parsing or
 	// validation. HTTP 400.
@@ -234,6 +240,12 @@ type Health struct {
 	Queued int `json:"queued"`
 	// Tenants counts tenants with live queues.
 	Tenants int `json:"tenants"`
+	// Retained counts terminal runs currently held in the bounded
+	// run history; Evicted counts terminal runs retention has dropped
+	// since the daemon started. Retained+Active+Queued is the daemon's
+	// whole run table — nothing else is kept.
+	Retained int    `json:"retained"`
+	Evicted  uint64 `json:"evicted"`
 }
 
 // RunList is the GET /v1/runs payload.

@@ -1,0 +1,77 @@
+// Package hostinfo stamps measurement artifacts with where they were
+// taken. Absolute numbers — ns/op, devices/sec, heap bytes — are only
+// comparable within one host, so every record the repo archives under
+// benchmarks/results/ carries the same provenance block: OS, arch, CPU
+// model, core count, Go version. The bench recorder (cmd/benchjson
+// -record) and the soak harness (internal/soak) both write through this
+// package, so their artifacts sort and diff the same way.
+package hostinfo
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Host records where an artifact was measured.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	CPUModel  string `json:"cpu_model,omitempty"`
+}
+
+// Collect snapshots the current host's provenance.
+func Collect() *Host {
+	return &Host{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		CPUModel:  cpuModel(),
+	}
+}
+
+// Stamp is the timestamp layout of archived artifact filenames: UTC,
+// second resolution, lexically sortable ("20060102T150405Z").
+const Stamp = "20060102T150405Z"
+
+// WriteTimestamped archives v as indented JSON under dir, creating the
+// directory as needed. The filename is now's UTC Stamp, then "-suffix"
+// when suffix is non-empty, then ".json" — so a directory of records from
+// several producers still sorts into one timeline. Returns the path
+// written.
+func WriteTimestamped(dir, suffix string, now time.Time, v any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := now.UTC().Format(Stamp)
+	if suffix != "" {
+		name += "-" + suffix
+	}
+	path := filepath.Join(dir, name+".json")
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// cpuModel best-effort reads the CPU model name; empty when the platform
+// does not expose /proc/cpuinfo (the record is still useful without it).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}

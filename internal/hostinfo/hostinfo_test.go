@@ -1,0 +1,53 @@
+package hostinfo
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCollect(t *testing.T) {
+	h := Collect()
+	if h.GOOS == "" || h.GOARCH == "" || h.NumCPU < 1 || h.GoVersion == "" {
+		t.Fatalf("Collect missing fields: %+v", h)
+	}
+}
+
+func TestWriteTimestamped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	now := time.Date(2026, 8, 8, 12, 34, 56, 0, time.UTC)
+	type payload struct {
+		Host *Host  `json:"host"`
+		Note string `json:"note"`
+	}
+
+	path, err := WriteTimestamped(dir, "soak", now, payload{Host: Collect(), Note: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "20260808T123456Z-soak.json"); path != want {
+		t.Fatalf("path %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if got.Host == nil || got.Host.GOOS == "" || got.Note != "x" {
+		t.Fatalf("artifact lost fields: %+v", got)
+	}
+
+	// No suffix: the bare timestamp name cmd/benchjson has always written.
+	path, err = WriteTimestamped(dir, "", now, payload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "20260808T123456Z.json"); path != want {
+		t.Fatalf("no-suffix path %q, want %q", path, want)
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controlapi"
+)
+
+// finishOne submits a one-cell fleet and drives it to its terminal state,
+// returning its run ID.
+func finishOne(t *testing.T, cl *client.Client, seed int64) string {
+	t.Helper()
+	info, err := cl.SubmitFleet(context.Background(), controlapi.SubmitRequest{Spec: specJSON(t, testSpec(1)), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, cl, info.ID); got.State != controlapi.StateSucceeded {
+		t.Fatalf("run %s ended %s (%s), want succeeded", info.ID, got.State, got.Error)
+	}
+	return info.ID
+}
+
+// TestHistoryCountEviction: the count cap evicts oldest-first exactly when
+// exceeded, and an evicted run answers the typed not_found on every route —
+// run info, report, stream reattach, Follow, cancel — while retained runs
+// keep serving their reports.
+func TestHistoryCountEviction(t *testing.T) {
+	_, _, cl := newTestDaemon(t, Config{HistoryLimit: 2, HistoryTTL: -1})
+	ctx := context.Background()
+
+	id1 := finishOne(t, cl, 1)
+	id2 := finishOne(t, cl, 2)
+
+	// Boundary: exactly at the cap, nothing is evicted.
+	if _, err := cl.Run(ctx, id1); err != nil {
+		t.Fatalf("at the cap, oldest run gone: %v", err)
+	}
+
+	// One past the cap: the oldest terminal run is evicted.
+	id3 := finishOne(t, cl, 3)
+
+	if _, err := cl.Run(ctx, id1); !errors.Is(err, controlapi.ErrNotFound) {
+		t.Errorf("evicted run info: %v, want ErrNotFound", err)
+	}
+	if _, err := cl.Report(ctx, id1, "json"); !errors.Is(err, controlapi.ErrNotFound) {
+		t.Errorf("evicted run report: %v, want ErrNotFound", err)
+	}
+	if _, _, err := cl.Stream(ctx, id1, 2, nil); !errors.Is(err, controlapi.ErrNotFound) {
+		t.Errorf("reattach to evicted run: %v, want ErrNotFound", err)
+	}
+	if err := cl.Cancel(ctx, id1); !errors.Is(err, controlapi.ErrNotFound) {
+		t.Errorf("cancel of evicted run: %v, want ErrNotFound", err)
+	}
+	// Follow must fail fast on the permanent 404, not burn its reconnect
+	// budget (the full retry path waits followBackoff per attempt — seconds).
+	start := time.Now()
+	if _, err := cl.Follow(ctx, id1, 0, nil); !errors.Is(err, controlapi.ErrNotFound) {
+		t.Errorf("follow of evicted run: %v, want ErrNotFound", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("follow of evicted run took %v: retried instead of failing fast", elapsed)
+	}
+
+	// Retained runs still serve; reattaching a stream at a live cursor on a
+	// retained run replays from that cursor as ever.
+	for _, id := range []string{id2, id3} {
+		if _, err := cl.Run(ctx, id); err != nil {
+			t.Errorf("retained run %s info: %v", id, err)
+		}
+		if b, err := cl.Report(ctx, id, "json"); err != nil || len(b) == 0 {
+			t.Errorf("retained run %s report: %d bytes, %v", id, len(b), err)
+		}
+		if _, done, err := cl.Stream(ctx, id, 1, nil); err != nil || done == nil {
+			t.Errorf("retained run %s reattach: done=%v err=%v", id, done, err)
+		}
+	}
+
+	// The run list shows exactly the retained window, in admission order.
+	list, err := cl.Runs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != 2 || list.Runs[0].ID != id2 || list.Runs[1].ID != id3 {
+		t.Errorf("run list after eviction = %+v, want [%s %s]", list.Runs, id2, id3)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Retained != 2 || h.Evicted != 1 {
+		t.Errorf("health retained/evicted = %d/%d, want 2/1", h.Retained, h.Evicted)
+	}
+}
+
+// testClock installs a controllable retention clock on a server.
+func testClock(s *Server, base time.Time) func(time.Time) {
+	var mu sync.Mutex
+	now := base
+	s.testNow = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	return func(t time.Time) {
+		mu.Lock()
+		now = t
+		mu.Unlock()
+	}
+}
+
+// TestHistoryTTLEviction: a terminal run exactly TTL old is still served
+// (the bound is strict), one instant older is evicted — and the sweep
+// happens lazily on the read path, no background timer involved.
+func TestHistoryTTLEviction(t *testing.T) {
+	const ttl = time.Minute
+	s, _, cl := newTestDaemon(t, Config{HistoryLimit: -1, HistoryTTL: ttl})
+	base := time.Unix(1700000000, 0)
+	setNow := testClock(s, base)
+	ctx := context.Background()
+
+	id := finishOne(t, cl, 1)
+
+	setNow(base.Add(ttl)) // age == TTL exactly: retained
+	if _, err := cl.Run(ctx, id); err != nil {
+		t.Fatalf("run exactly TTL old: %v, want retained", err)
+	}
+
+	setNow(base.Add(ttl + time.Nanosecond)) // age > TTL: evicted on next read
+	if _, err := cl.Run(ctx, id); !errors.Is(err, controlapi.ErrNotFound) {
+		t.Errorf("run past TTL: %v, want ErrNotFound", err)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Retained != 0 || h.Evicted != 1 {
+		t.Errorf("health retained/evicted = %d/%d, want 0/1", h.Retained, h.Evicted)
+	}
+}
+
+// TestLiveRunsNeverEvicted: retention applies to terminal runs only — a
+// running or queued run survives any clock advance and any count pressure,
+// and joins the bounded history only when it finalizes.
+func TestLiveRunsNeverEvicted(t *testing.T) {
+	s, _, cl := newTestDaemon(t, Config{MaxActive: 1, HistoryLimit: 1, HistoryTTL: time.Minute})
+	base := time.Unix(1700000000, 0)
+	setNow := testClock(s, base)
+	release := make(chan struct{})
+	s.testRunStart = func(ctx context.Context, id string) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	ctx := context.Background()
+	spec := specJSON(t, testSpec(1))
+
+	r1, err := cl.SubmitFleet(ctx, controlapi.SubmitRequest{Spec: spec, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cl.SubmitFleet(ctx, controlapi.SubmitRequest{Spec: spec, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Far past any TTL: the running and queued runs are untouched.
+	setNow(base.Add(24 * time.Hour))
+	if info, err := cl.Run(ctx, r1.ID); err != nil || info.State != controlapi.StateRunning {
+		t.Fatalf("running run under stale clock: %+v, %v", info, err)
+	}
+	if info, err := cl.Run(ctx, r2.ID); err != nil || info.State != controlapi.StateQueued {
+		t.Fatalf("queued run under stale clock: %+v, %v", info, err)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Active != 1 || h.Queued != 1 || h.Retained != 0 || h.Evicted != 0 {
+		t.Errorf("health = %+v, want 1 active, 1 queued, nothing retained or evicted", h)
+	}
+
+	// Released, both finalize — r1 strictly before r2 (one admission slot,
+	// FIFO), so the count cap of 1 keeps only r2.
+	close(release)
+	if info := waitTerminal(t, cl, r2.ID); info.State != controlapi.StateSucceeded {
+		t.Fatalf("run %s ended %s, want succeeded", r2.ID, info.State)
+	}
+	if _, err := cl.Run(ctx, r1.ID); !errors.Is(err, controlapi.ErrNotFound) {
+		t.Errorf("older terminal run under cap 1: %v, want ErrNotFound", err)
+	}
+	if _, err := cl.Run(ctx, r2.ID); err != nil {
+		t.Errorf("newest terminal run: %v, want retained", err)
+	}
+}

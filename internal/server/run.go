@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/controlapi"
@@ -42,6 +43,9 @@ type run struct {
 
 	mu    sync.Mutex
 	state string
+	// doneAt is the retention clock: when the run reached its terminal
+	// state (stamped by Server.noteTerminal, zero until then).
+	doneAt time.Time
 	// events is the append-only log; pulse is closed and replaced on every
 	// append, waking blocked streamers.
 	events []controlapi.Event
@@ -247,6 +251,7 @@ func (s *Server) execute(r *run) {
 	r.finalize(state, runErr, rep, storeDir)
 	s.mu.Lock()
 	s.active--
+	s.noteTerminalLocked(r)
 	s.dispatchLocked()
 	s.mu.Unlock()
 }

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/controlapi"
@@ -74,6 +75,14 @@ type Config struct {
 	// RetryAfterS is the Retry-After seconds hint on 429 responses
 	// (0 = DefaultRetryAfterS).
 	RetryAfterS int
+	// HistoryLimit caps how many terminal runs are retained — their event
+	// logs and rendered reports are what a resident daemon would otherwise
+	// leak forever. 0 = DefaultHistoryLimit, negative = unlimited.
+	// Evicted runs answer the typed not_found on every route.
+	HistoryLimit int
+	// HistoryTTL bounds how long a terminal run is retained.
+	// 0 = DefaultHistoryTTL, negative = no age-based eviction.
+	HistoryTTL time.Duration
 }
 
 // Server implements the control API. Create with New, serve Handler().
@@ -89,6 +98,11 @@ type Server struct {
 	active   int
 	nextID   int64
 	draining bool
+	// history holds terminal runs in finalize order — the bounded
+	// retention window (see retention.go); evicted counts runs dropped
+	// from it since boot.
+	history []*run
+	evicted uint64
 
 	slots map[int64]*engineSlot
 
@@ -98,6 +112,8 @@ type Server struct {
 	// testRunStart, when set by tests, runs at the top of every execute
 	// goroutine — the hook that holds a run "running" deterministically.
 	testRunStart func(ctx context.Context, id string)
+	// testNow, when set by tests, replaces the retention clock.
+	testNow func() time.Time
 }
 
 // New returns a server over the config.
@@ -158,7 +174,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
-	active, queued, tenants := s.counts()
+	c := s.counts()
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -167,13 +183,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
 		state = "draining"
 	}
 	writeJSON(w, http.StatusOK, controlapi.Health{
-		OK:      !draining,
-		State:   state,
-		Engine:  version.Engine,
-		API:     controlapi.APIVersion,
-		Active:  active,
-		Queued:  queued,
-		Tenants: tenants,
+		OK:       !draining,
+		State:    state,
+		Engine:   version.Engine,
+		API:      controlapi.APIVersion,
+		Active:   c.active,
+		Queued:   c.queued,
+		Tenants:  c.tenants,
+		Retained: c.retained,
+		Evicted:  c.evicted,
 	})
 }
 
@@ -250,6 +268,7 @@ func (s *Server) submit(w http.ResponseWriter, r *run) {
 
 func (s *Server) handleRuns(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
+	s.evictLocked(s.clock())
 	ids := append([]string(nil), s.order...)
 	runs := make([]*run, len(ids))
 	for i, id := range ids {
@@ -263,14 +282,18 @@ func (s *Server) handleRuns(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, list)
 }
 
-// runByID resolves {id} or writes the typed 404.
+// runByID resolves {id} or writes the typed 404 — for runs that never
+// existed and for runs the retention sweep has evicted alike; the sweep
+// runs first so an expired run 404s deterministically rather than racing
+// the next mutation.
 func (s *Server) runByID(w http.ResponseWriter, req *http.Request) *run {
 	id := req.PathValue("id")
 	s.mu.Lock()
+	s.evictLocked(s.clock())
 	r := s.runs[id]
 	s.mu.Unlock()
 	if r == nil {
-		writeError(w, http.StatusNotFound, apiError(controlapi.CodeNotFound, fmt.Sprintf("no run %q", id)))
+		writeError(w, http.StatusNotFound, apiError(controlapi.CodeNotFound, fmt.Sprintf("no run %q (unknown or evicted)", id)))
 	}
 	return r
 }

@@ -63,30 +63,52 @@ func newTestDaemon(t *testing.T, cfg Config) (*Server, *httptest.Server, *client
 	return s, ts, client.New(ts.URL)
 }
 
-// waitRun polls a run until pred holds, failing the test on timeout.
-func waitRun(t *testing.T, cl *client.Client, id string, what string, pred func(*controlapi.RunInfo) bool) *controlapi.RunInfo {
-	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		info, err := cl.Run(context.Background(), id)
-		if err != nil {
-			t.Fatalf("run %s: %v", id, err)
-		}
-		if pred(info) {
-			return info
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("run %s: timed out waiting for %s (state %s, done %d)", id, what, info.State, info.Done)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
+// waitTerminal blocks until the run is terminal by following its event
+// stream to the done event — the deterministic signal finalize appends
+// under the run lock — then returns the final RunInfo. The stream blocks
+// on the run's pulse channel, so there is no poll interval and no sleep
+// to mis-size.
 func waitTerminal(t *testing.T, cl *client.Client, id string) *controlapi.RunInfo {
 	t.Helper()
-	return waitRun(t, cl, id, "terminal state", func(i *controlapi.RunInfo) bool {
-		return controlapi.TerminalState(i.State)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := cl.Follow(ctx, id, 0, nil); err != nil {
+		t.Fatalf("run %s: waiting for done event: %v", id, err)
+	}
+	info, err := cl.Run(ctx, id)
+	if err != nil {
+		t.Fatalf("run %s: %v", id, err)
+	}
+	if !controlapi.TerminalState(info.State) {
+		t.Fatalf("run %s: saw its done event but state is %s", id, info.State)
+	}
+	return info
+}
+
+// errEnoughProgress unblocks waitProgress's stream once it has seen what
+// it came for.
+var errEnoughProgress = errors.New("enough progress")
+
+// waitProgress blocks until the run has logged at least n progress
+// events, by consuming its event stream (the server wakes the stream on
+// every append — deterministic, no polling).
+func waitProgress(t *testing.T, cl *client.Client, id string, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	seen := 0
+	_, done, err := cl.Stream(ctx, id, 0, func(ev controlapi.Event) error {
+		if ev.Type == controlapi.EventProgress {
+			if seen++; seen >= n {
+				return errEnoughProgress
+			}
+		}
+		return nil
 	})
+	if errors.Is(err, errEnoughProgress) || (done != nil && seen >= n) {
+		return
+	}
+	t.Fatalf("run %s: stream ended after %d/%d progress events (done=%v, err=%v)", id, seen, n, done, err)
 }
 
 // TestVersionHandshake: mismatched clients are rejected with the typed 409
@@ -436,7 +458,7 @@ func TestDrainPartialReport(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	waitRun(t, cl, r1.ID, "some progress", func(i *controlapi.RunInfo) bool { return i.Done >= 3 })
+	waitProgress(t, cl, r1.ID, 3)
 
 	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()

@@ -36,6 +36,7 @@ func (s *Server) admit(r *run) (*run, *controlapi.Error) {
 		e.RetryAfterS = s.retryAfter()
 		return nil, e
 	}
+	s.evictLocked(s.clock())
 	s.nextID++
 	r.id = fmt.Sprintf("r%d", s.nextID)
 	s.runs[r.id] = r
@@ -91,6 +92,7 @@ func (s *Server) cancelRun(r *run) {
 		s.mu.Unlock()
 		r.cancel()
 		r.finalize(controlapi.StateCancelled, "run cancelled before start", reportExports{}, "")
+		s.noteTerminal(r)
 		return
 	}
 	s.mu.Unlock()
@@ -137,6 +139,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	for _, r := range queued {
 		r.cancel()
 		r.finalize(controlapi.StateCancelled, "run cancelled: server draining", reportExports{}, "")
+		s.noteTerminal(r)
 	}
 	for _, r := range running {
 		r.cancel()
@@ -154,12 +157,20 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// counts snapshots the scheduler for /v1/healthz.
-func (s *Server) counts() (active, queued, tenants int) {
+// schedCounts snapshots the scheduler for /v1/healthz (after a retention
+// sweep, so retained/evicted reflect the TTL at read time).
+type schedCounts struct {
+	active, queued, tenants, retained int
+	evicted                           uint64
+}
+
+func (s *Server) counts() schedCounts {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.evictLocked(s.clock())
+	c := schedCounts{active: s.active, tenants: len(s.tenants), retained: len(s.history), evicted: s.evicted}
 	for _, q := range s.tenants {
-		queued += len(q.queue)
+		c.queued += len(q.queue)
 	}
-	return s.active, queued, len(s.tenants)
+	return c
 }

@@ -1,0 +1,124 @@
+package soak_test
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/soak"
+)
+
+// TestSoakTiny always runs: the smallest soak shape that still exercises
+// every op kind's machinery — two windows of concurrent multi-tenant
+// traffic, all three invariants checked, the artifact written. It is the
+// tier-1 regression gate for the harness itself; the real shapes run
+// behind SOAK=1 (make soak-smoke / make soak).
+func TestSoakTiny(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := soak.Run(ctx, soak.Config{
+		Seed:         7,
+		Windows:      2,
+		Tenants:      2,
+		OpsPerTenant: 2,
+		ResultDir:    dir,
+		Pprof:        "heap",
+		Log:          testWriter{t},
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if want := 2 * 2 * 2; res.Ops != want {
+		t.Errorf("completed %d ops, want %d", res.Ops, want)
+	}
+	if res.Runs < 4 { // warmup alone drives 4 runs per window-0 probe aside
+		t.Errorf("drove %d daemon runs, want >= 4", res.Runs)
+	}
+	if !res.ProbeStable || res.ProbeBytes == 0 {
+		t.Errorf("probe stable=%v bytes=%d, want stable with content", res.ProbeStable, res.ProbeBytes)
+	}
+	if res.GoroutineBaseline <= 0 || res.HeapBaseline == 0 {
+		t.Errorf("baselines not captured: %+v", res)
+	}
+	if res.ArtifactPath == "" || !strings.HasSuffix(res.ArtifactPath, "-soak.json") {
+		t.Fatalf("artifact path %q, want a *-soak.json under the result dir", res.ArtifactPath)
+	}
+	if b, err := os.ReadFile(res.ArtifactPath); err != nil || len(b) == 0 {
+		t.Errorf("artifact unreadable: %v", err)
+	} else {
+		for _, field := range []string{`"recorded_at"`, `"host"`, `"soak"`, `"window_stats"`} {
+			if !strings.Contains(string(b), field) {
+				t.Errorf("artifact missing %s", field)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heapProfile bool
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), "-soak-heap.pprof") {
+			heapProfile = true
+		}
+	}
+	if !heapProfile {
+		t.Errorf("no heap profile in %s: %v", dir, entries)
+	}
+}
+
+// TestSoakSmoke is the opt-in stress gate behind `make soak-smoke` (and,
+// with bigger SOAK_* values, `make soak`): at least 50 randomized
+// iterations of mixed daemon and in-process traffic under the race
+// detector, with the leak, drift, and determinism invariants enforced and
+// the provenance artifact archived.
+func TestSoakSmoke(t *testing.T) {
+	if os.Getenv("SOAK") == "" {
+		t.Skip("soak disabled: set SOAK=1 (or run `make soak-smoke`)")
+	}
+	cfg := soak.FromEnv()
+	cfg.Log = testWriter{t}
+	windows, tenants, ops := cfg.Windows, cfg.Tenants, cfg.OpsPerTenant
+	if windows == 0 {
+		windows = soak.DefaultWindows
+	}
+	if tenants == 0 {
+		tenants = soak.DefaultTenants
+	}
+	if ops == 0 {
+		ops = soak.DefaultOpsPerTenant
+	}
+	if iterations := windows * tenants * ops; iterations < 50 {
+		t.Fatalf("soak shape %dx%dx%d = %d iterations; the smoke gate requires >= 50", windows, tenants, ops, iterations)
+	}
+
+	res, err := soak.Run(context.Background(), cfg)
+	if res != nil {
+		t.Logf("soak result: ops=%d runs=%d cancelled=%d reattached=%d not_found=%d store_hits=%d goroutines=%d->%d heap=%d->%d",
+			res.Ops, res.Runs, res.Cancelled, res.Reattached, res.NotFound, res.StoreHits,
+			res.GoroutineBaseline, res.GoroutineFinal, res.HeapBaseline, res.HeapFinal)
+	}
+	if err != nil {
+		t.Fatalf("soak invariants violated: %v", err)
+	}
+	if !res.ProbeStable {
+		t.Fatal("probe exports drifted between first and last window")
+	}
+	if res.StoreHits == 0 {
+		t.Error("no store hits: warm resubmission never happened across 50+ ops")
+	}
+	if cfg.ResultDir != "" && res.ArtifactPath == "" {
+		t.Errorf("no artifact written to %s", cfg.ResultDir)
+	}
+}
+
+// testWriter routes harness progress lines into the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
